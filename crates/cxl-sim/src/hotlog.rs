@@ -1,0 +1,85 @@
+//! The §4.1 hot-page list.
+//!
+//! Step S1 of the paper's evaluation protocol modifies each page-migration
+//! solution to *record* the PFNs of identified hot pages instead of (or in
+//! addition to) migrating them; the harness later looks those PFNs up in
+//! PAC's access-count table to compute the average access-count ratio.
+//! Every solution in this workspace (ANB, DAMON, and the M5-manager) feeds
+//! one of these logs.
+
+use crate::addr::{Pfn, Vpn};
+use std::collections::HashSet;
+
+/// A capped, deduplicated list of identified hot pages, recorded as
+/// `(vpn, pfn-at-identification-time)`.
+#[derive(Clone, Debug)]
+pub struct HotPageLog {
+    entries: Vec<(Vpn, Pfn)>,
+    seen: HashSet<Vpn>,
+    cap: usize,
+}
+
+impl HotPageLog {
+    /// A log holding at most `cap` distinct pages (the paper collects up to
+    /// 128K).
+    pub fn new(cap: usize) -> HotPageLog {
+        HotPageLog {
+            entries: Vec::new(),
+            seen: HashSet::new(),
+            cap,
+        }
+    }
+
+    /// Records an identified hot page. Returns `true` if it was new and
+    /// there was room.
+    pub fn record(&mut self, vpn: Vpn, pfn: Pfn) -> bool {
+        if self.entries.len() >= self.cap || !self.seen.insert(vpn) {
+            return false;
+        }
+        self.entries.push((vpn, pfn));
+        true
+    }
+
+    /// The recorded `(vpn, pfn)` pairs in identification order.
+    pub fn entries(&self) -> &[(Vpn, Pfn)] {
+        &self.entries
+    }
+
+    /// The recorded PFNs (for PAC lookups, step S4).
+    pub fn pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.entries.iter().map(|&(_, p)| p)
+    }
+
+    /// Number of distinct pages recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_dedups_and_caps() {
+        let mut log = HotPageLog::new(2);
+        assert!(log.record(Vpn(1), Pfn(10)));
+        assert!(!log.record(Vpn(1), Pfn(10)), "duplicate ignored");
+        assert!(log.record(Vpn(2), Pfn(20)));
+        assert!(!log.record(Vpn(3), Pfn(30)), "cap reached");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.pfns().collect::<Vec<_>>(), vec![Pfn(10), Pfn(20)]);
+        assert_eq!(log.capacity(), 2);
+        assert!(!log.is_empty());
+    }
+}

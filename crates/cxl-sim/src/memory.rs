@@ -1,0 +1,291 @@
+//! Physical memory: the two NUMA nodes (DDR and CXL DRAM) and their frame
+//! allocators.
+//!
+//! DDR frames live at the bottom of the 48-bit physical address space and
+//! CXL frames start at [`CXL_BASE_PFN`], so a [`Pfn`] alone identifies its
+//! node — mirroring a real system where the CXL memory window is a distinct
+//! physical range exposed as a remote NUMA node.
+
+use crate::addr::Pfn;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// First PFN of the CXL DRAM node (PA `1 << 46`, inside the 48-bit space).
+pub const CXL_BASE_PFN: u64 = 1 << 34;
+
+/// Identifier of a memory node in the tiered system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// The fast tier: locally attached DDR DRAM.
+    Ddr,
+    /// The slow tier: CXL-attached DRAM (~170 ns extra load latency).
+    Cxl,
+}
+
+impl NodeId {
+    /// Alias for [`NodeId::Ddr`], matching the paper's `bw(DDR)` notation.
+    pub const DDR: NodeId = NodeId::Ddr;
+    /// Alias for [`NodeId::Cxl`], matching the paper's `bw(CXL)` notation.
+    pub const CXL: NodeId = NodeId::Cxl;
+
+    /// Both nodes, fast tier first.
+    pub const ALL: [NodeId; 2] = [NodeId::Ddr, NodeId::Cxl];
+
+    /// The other node of the pair.
+    pub fn other(self) -> NodeId {
+        match self {
+            NodeId::Ddr => NodeId::Cxl,
+            NodeId::Cxl => NodeId::Ddr,
+        }
+    }
+
+    /// The node that owns `pfn`, based on the physical layout.
+    pub fn of_pfn(pfn: Pfn) -> NodeId {
+        if pfn.0 >= CXL_BASE_PFN {
+            NodeId::Cxl
+        } else {
+            NodeId::Ddr
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Ddr => f.write_str("DDR"),
+            NodeId::Cxl => f.write_str("CXL"),
+        }
+    }
+}
+
+/// Static properties of one memory node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Capacity in 4 KiB frames.
+    pub capacity_frames: u64,
+    /// Loaded read latency of one 64 B access from this node.
+    pub access_latency: Nanos,
+}
+
+/// Error returned when a node has no free frames left.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfFrames {
+    /// The node that was full.
+    pub node: NodeId,
+}
+
+impl fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory node {} has no free frames", self.node)
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+/// One memory node: a frame allocator plus its latency parameters.
+#[derive(Clone, Debug)]
+pub struct MemoryNode {
+    id: NodeId,
+    base_pfn: u64,
+    config: NodeConfig,
+    /// Stack of free frame indices (relative to `base_pfn`).
+    free: Vec<u64>,
+    allocated: u64,
+}
+
+impl MemoryNode {
+    /// Creates a node with all frames free.
+    pub fn new(id: NodeId, config: NodeConfig) -> MemoryNode {
+        let base_pfn = match id {
+            NodeId::Ddr => 0,
+            NodeId::Cxl => CXL_BASE_PFN,
+        };
+        // Pop order: lowest frame index first.
+        let free = (0..config.capacity_frames).rev().collect();
+        MemoryNode {
+            id,
+            base_pfn,
+            config,
+            free,
+            allocated: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Loaded read latency of one 64 B access.
+    pub fn access_latency(&self) -> Nanos {
+        self.config.access_latency
+    }
+
+    /// Capacity in frames.
+    pub fn capacity_frames(&self) -> u64 {
+        self.config.capacity_frames
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.config.capacity_frames - self.allocated
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] if the node is full.
+    pub fn alloc(&mut self) -> Result<Pfn, OutOfFrames> {
+        match self.free.pop() {
+            Some(idx) => {
+                self.allocated += 1;
+                Ok(Pfn(self.base_pfn + idx))
+            }
+            None => Err(OutOfFrames { node: self.id }),
+        }
+    }
+
+    /// Frees a previously allocated frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` does not belong to this node or is out of range; this
+    /// indicates a simulator bug, not a recoverable condition.
+    pub fn free(&mut self, pfn: Pfn) {
+        assert_eq!(NodeId::of_pfn(pfn), self.id, "freeing {pfn:?} on wrong node");
+        let idx = pfn.0 - self.base_pfn;
+        assert!(idx < self.config.capacity_frames, "{pfn:?} out of range");
+        self.allocated -= 1;
+        self.free.push(idx);
+    }
+}
+
+/// The two-tier physical memory.
+#[derive(Clone, Debug)]
+pub struct TieredMemory {
+    ddr: MemoryNode,
+    cxl: MemoryNode,
+}
+
+impl TieredMemory {
+    /// Builds the tiered memory from per-node configurations.
+    pub fn new(ddr: NodeConfig, cxl: NodeConfig) -> TieredMemory {
+        TieredMemory {
+            ddr: MemoryNode::new(NodeId::Ddr, ddr),
+            cxl: MemoryNode::new(NodeId::Cxl, cxl),
+        }
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &MemoryNode {
+        match id {
+            NodeId::Ddr => &self.ddr,
+            NodeId::Cxl => &self.cxl,
+        }
+    }
+
+    /// Mutably borrows a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut MemoryNode {
+        match id {
+            NodeId::Ddr => &mut self.ddr,
+            NodeId::Cxl => &mut self.cxl,
+        }
+    }
+
+    /// Allocates a frame on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] if that node is full.
+    pub fn alloc_on(&mut self, node: NodeId) -> Result<Pfn, OutOfFrames> {
+        self.node_mut(node).alloc()
+    }
+
+    /// Frees `pfn` on whichever node owns it.
+    pub fn free(&mut self, pfn: Pfn) {
+        self.node_mut(NodeId::of_pfn(pfn)).free(pfn);
+    }
+
+    /// Read latency of an access to `pfn`'s node.
+    pub fn latency_of(&self, pfn: Pfn) -> Nanos {
+        self.node(NodeId::of_pfn(pfn)).access_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(frames: u64, lat: u64) -> NodeConfig {
+        NodeConfig {
+            capacity_frames: frames,
+            access_latency: Nanos(lat),
+        }
+    }
+
+    #[test]
+    fn pfn_node_partition() {
+        assert_eq!(NodeId::of_pfn(Pfn(0)), NodeId::Ddr);
+        assert_eq!(NodeId::of_pfn(Pfn(CXL_BASE_PFN - 1)), NodeId::Ddr);
+        assert_eq!(NodeId::of_pfn(Pfn(CXL_BASE_PFN)), NodeId::Cxl);
+        assert_eq!(NodeId::Ddr.other(), NodeId::Cxl);
+        assert_eq!(NodeId::Cxl.other(), NodeId::Ddr);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut node = MemoryNode::new(NodeId::Cxl, cfg(2, 270));
+        let a = node.alloc().unwrap();
+        let b = node.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(NodeId::of_pfn(a), NodeId::Cxl);
+        assert!(node.alloc().is_err());
+        node.free(a);
+        assert_eq!(node.free_frames(), 1);
+        let c = node.alloc().unwrap();
+        assert_eq!(c, a, "freed frame is reused");
+    }
+
+    #[test]
+    fn out_of_frames_error_is_reportable() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(0, 100));
+        let err = node.alloc().unwrap_err();
+        assert_eq!(err.node, NodeId::Ddr);
+        assert!(err.to_string().contains("DDR"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn freeing_on_wrong_node_panics() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(4, 100));
+        node.free(Pfn(CXL_BASE_PFN));
+    }
+
+    #[test]
+    fn tiered_latency_depends_on_node() {
+        let mut mem = TieredMemory::new(cfg(4, 100), cfg(4, 270));
+        let d = mem.alloc_on(NodeId::Ddr).unwrap();
+        let c = mem.alloc_on(NodeId::Cxl).unwrap();
+        assert_eq!(mem.latency_of(d), Nanos(100));
+        assert_eq!(mem.latency_of(c), Nanos(270));
+        mem.free(d);
+        mem.free(c);
+        assert_eq!(mem.node(NodeId::Ddr).allocated_frames(), 0);
+        assert_eq!(mem.node(NodeId::Cxl).allocated_frames(), 0);
+    }
+
+    #[test]
+    fn allocation_order_is_dense_from_zero() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(3, 100));
+        assert_eq!(node.alloc().unwrap(), Pfn(0));
+        assert_eq!(node.alloc().unwrap(), Pfn(1));
+        assert_eq!(node.alloc().unwrap(), Pfn(2));
+    }
+}

@@ -1,0 +1,207 @@
+//! A Multi-Generational LRU (MGLRU) for demotion-victim selection.
+//!
+//! M5 relies on the Linux kernel's MGLRU to choose which DDR pages to demote
+//! once the fast tier fills up (§5.2). This model keeps the resident pages of
+//! the fast tier sorted into `G` generations. An *aging pass* samples each
+//! page's PTE accessed bit: recently accessed pages move to the youngest
+//! generation, untouched ones drift one generation older. Demotion victims
+//! are taken from the oldest populated generation, FIFO within a generation.
+
+use crate::addr::Vpn;
+use crate::paging::PageTable;
+use std::collections::{HashMap, VecDeque};
+
+/// Number of generations, matching the kernel's default `MAX_NR_GENS` tiers
+/// in spirit (young → old).
+pub const NR_GENS: usize = 4;
+
+/// The MGLRU bookkeeping for one node's resident pages.
+#[derive(Clone, Debug, Default)]
+pub struct MgLru {
+    gens: [VecDeque<Vpn>; NR_GENS],
+    /// Current generation of each tracked page.
+    index: HashMap<Vpn, usize>,
+    aging_passes: u64,
+}
+
+impl MgLru {
+    /// An empty LRU.
+    pub fn new() -> MgLru {
+        MgLru::default()
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of pages in generation `g` (0 = youngest).
+    pub fn gen_len(&self, g: usize) -> usize {
+        self.gens[g].len()
+    }
+
+    /// Number of aging passes performed.
+    pub fn aging_passes(&self) -> u64 {
+        self.aging_passes
+    }
+
+    /// Starts tracking `vpn` in the youngest generation (a page was just
+    /// promoted to, or allocated on, this node).
+    pub fn insert(&mut self, vpn: Vpn) {
+        if self.index.contains_key(&vpn) {
+            return;
+        }
+        self.gens[0].push_back(vpn);
+        self.index.insert(vpn, 0);
+    }
+
+    /// Stops tracking `vpn` (the page was demoted or unmapped). Returns
+    /// whether it was tracked.
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        match self.index.remove(&vpn) {
+            Some(g) => {
+                if let Some(pos) = self.gens[g].iter().position(|&v| v == vpn) {
+                    self.gens[g].remove(pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One aging pass: samples and clears each tracked page's accessed bit
+    /// in `pt`. Accessed pages are refreshed into the youngest generation;
+    /// idle pages move one generation older. Returns the number of PTEs
+    /// scanned (the caller bills that as kernel work).
+    pub fn age(&mut self, pt: &mut PageTable) -> u64 {
+        self.aging_passes += 1;
+        let mut scanned = 0;
+        let mut next: [VecDeque<Vpn>; NR_GENS] = Default::default();
+        for g in 0..NR_GENS {
+            while let Some(vpn) = self.gens[g].pop_front() {
+                scanned += 1;
+                let new_gen = if pt.test_and_clear_accessed(vpn) {
+                    0
+                } else {
+                    (g + 1).min(NR_GENS - 1)
+                };
+                next[new_gen].push_back(vpn);
+                self.index.insert(vpn, new_gen);
+            }
+        }
+        self.gens = next;
+        scanned
+    }
+
+    /// Picks up to `n` demotion victims from the oldest populated
+    /// generations. The victims are removed from the LRU.
+    pub fn pick_coldest(&mut self, n: usize) -> Vec<Vpn> {
+        let mut out = Vec::with_capacity(n);
+        for g in (0..NR_GENS).rev() {
+            while out.len() < n {
+                match self.gens[g].pop_front() {
+                    Some(vpn) => {
+                        self.index.remove(&vpn);
+                        out.push(vpn);
+                    }
+                    None => break,
+                }
+            }
+            if out.len() == n {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Iterates over all tracked pages with their generation.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, usize)> + '_ {
+        self.index.iter().map(|(&v, &g)| (v, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+
+    fn pt_with(pages: u64) -> PageTable {
+        let mut pt = PageTable::new();
+        for i in 0..pages {
+            pt.map(Vpn(i), Pfn(i));
+        }
+        pt
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut lru = MgLru::new();
+        lru.insert(Vpn(1));
+        lru.insert(Vpn(1)); // idempotent
+        assert_eq!(lru.len(), 1);
+        assert!(lru.remove(Vpn(1)));
+        assert!(!lru.remove(Vpn(1)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn idle_pages_age_toward_oldest_generation() {
+        let mut pt = pt_with(2);
+        let mut lru = MgLru::new();
+        lru.insert(Vpn(0));
+        lru.insert(Vpn(1));
+        for pass in 1..=NR_GENS {
+            let scanned = lru.age(&mut pt);
+            assert_eq!(scanned, 2);
+            let expect = pass.min(NR_GENS - 1);
+            assert_eq!(lru.gen_len(expect), 2, "after pass {pass}");
+        }
+        assert_eq!(lru.aging_passes(), NR_GENS as u64);
+    }
+
+    #[test]
+    fn accessed_pages_return_to_youngest() {
+        let mut pt = pt_with(2);
+        let mut lru = MgLru::new();
+        lru.insert(Vpn(0));
+        lru.insert(Vpn(1));
+        lru.age(&mut pt); // both now gen 1
+        pt.set_accessed(Vpn(0));
+        lru.age(&mut pt);
+        assert_eq!(lru.gen_len(0), 1); // page 0 refreshed
+        assert_eq!(lru.gen_len(2), 1); // page 1 aged further
+        // The accessed bit was consumed by the aging pass.
+        assert!(!pt.test_and_clear_accessed(Vpn(0)));
+    }
+
+    #[test]
+    fn pick_coldest_prefers_oldest_generation() {
+        let mut pt = pt_with(3);
+        let mut lru = MgLru::new();
+        lru.insert(Vpn(0));
+        lru.age(&mut pt); // 0 -> gen 1
+        lru.insert(Vpn(1));
+        lru.age(&mut pt); // 0 -> gen 2, 1 -> gen 1
+        lru.insert(Vpn(2)); // gen 0
+        let victims = lru.pick_coldest(2);
+        assert_eq!(victims, vec![Vpn(0), Vpn(1)]);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.pick_coldest(5), vec![Vpn(2)]);
+        assert!(lru.pick_coldest(1).is_empty());
+    }
+
+    #[test]
+    fn iter_reports_generations() {
+        let mut pt = pt_with(1);
+        let mut lru = MgLru::new();
+        lru.insert(Vpn(0));
+        lru.age(&mut pt);
+        let all: Vec<_> = lru.iter().collect();
+        assert_eq!(all, vec![(Vpn(0), 1)]);
+    }
+}

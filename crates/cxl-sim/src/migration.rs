@@ -1,0 +1,123 @@
+//! Page-migration types: errors, statistics, and batching helpers.
+//!
+//! The migration *mechanics* live on [`crate::system::System`] (they need
+//! the page table, TLB, LLC, frame allocators, and the kernel-cost ledger at
+//! once); this module defines the shared vocabulary.
+
+use crate::addr::Vpn;
+use crate::memory::{NodeId, OutOfFrames};
+use std::fmt;
+
+/// Why a page could not be migrated.
+///
+/// `Pinned` and `NodeBound` correspond to the Promoter's safety checks in
+/// §5.2: pages pinned for DMA, or explicitly bound to the CXL device by the
+/// user, must be rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The virtual page is not mapped.
+    NotMapped,
+    /// The page is already resident on the requested node.
+    AlreadyThere,
+    /// The page is pinned (e.g. for DMA).
+    Pinned,
+    /// The user explicitly bound the page to the CXL node.
+    NodeBound,
+    /// The destination node has no free frames.
+    DestinationFull(OutOfFrames),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::NotMapped => f.write_str("page is not mapped"),
+            MigrateError::AlreadyThere => f.write_str("page already resides on the target node"),
+            MigrateError::Pinned => f.write_str("page is pinned and cannot be migrated"),
+            MigrateError::NodeBound => f.write_str("page is explicitly bound to its node"),
+            MigrateError::DestinationFull(e) => write!(f, "destination full: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MigrateError::DestinationFull(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative migration statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Pages moved CXL → DDR.
+    pub promotions: u64,
+    /// Pages moved DDR → CXL.
+    pub demotions: u64,
+    /// Migration attempts rejected by safety checks or capacity.
+    pub rejected: u64,
+}
+
+impl MigrationStats {
+    /// Records a completed migration toward `dst`.
+    pub fn record(&mut self, dst: NodeId) {
+        match dst {
+            NodeId::Ddr => self.promotions += 1,
+            NodeId::Cxl => self.demotions += 1,
+        }
+    }
+
+    /// Total pages moved in either direction.
+    pub fn total_moved(&self) -> u64 {
+        self.promotions + self.demotions
+    }
+}
+
+/// The outcome of a batched `migrate_pages()`-style call.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// Pages successfully migrated.
+    pub migrated: Vec<Vpn>,
+    /// Pages rejected, with the reason.
+    pub rejected: Vec<(Vpn, MigrateError)>,
+}
+
+impl BatchOutcome {
+    /// Whether every requested page moved.
+    pub fn all_migrated(&self) -> bool {
+        self.rejected.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_record_by_direction() {
+        let mut s = MigrationStats::default();
+        s.record(NodeId::Ddr);
+        s.record(NodeId::Ddr);
+        s.record(NodeId::Cxl);
+        assert_eq!(s.promotions, 2);
+        assert_eq!(s.demotions, 1);
+        assert_eq!(s.total_moved(), 3);
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = MigrateError::DestinationFull(OutOfFrames { node: NodeId::Ddr });
+        assert!(e.to_string().contains("destination full"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MigrateError::Pinned).is_none());
+    }
+
+    #[test]
+    fn batch_outcome_reports_success() {
+        let mut b = BatchOutcome::default();
+        assert!(b.all_migrated());
+        b.rejected.push((Vpn(1), MigrateError::Pinned));
+        assert!(!b.all_migrated());
+    }
+}

@@ -1,0 +1,146 @@
+//! Performance-counter model: per-node read bandwidth and page counts.
+//!
+//! This is the substrate behind the M5-manager's `Monitor` (paper Table 1):
+//!
+//! | function          | description                              | real tool      |
+//! |-------------------|------------------------------------------|----------------|
+//! | `nr_pages(node)`  | pages allocated to `node`                | `/proc/zoneinfo` |
+//! | `bw(node)`        | consumed *read* bandwidth of `node`      | `pcm`          |
+//! | `bw_den(node)`    | `bw(node)` per allocated page            | derived        |
+//!
+//! Only read bandwidth is reported because with a write-allocate hierarchy
+//! every LLC miss — load or store — first performs a DRAM read (§5.2).
+
+use crate::memory::NodeId;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Per-node traffic counters for one measurement window plus cumulative
+/// totals.
+#[derive(Clone, Debug, Default)]
+pub struct PerfMonitor {
+    window_reads: [u64; 2],
+    window_start: Nanos,
+    total_reads: [u64; 2],
+    total_writebacks: [u64; 2],
+}
+
+/// A bandwidth snapshot of one node over a closed window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthStats {
+    /// 64 B read accesses observed in the window.
+    pub reads: u64,
+    /// Window duration.
+    pub window: Nanos,
+}
+
+impl BandwidthStats {
+    /// Read bandwidth in bytes per second. Returns 0 for an empty window.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.window == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.reads * 64) as f64 / self.window.as_secs_f64()
+    }
+}
+
+fn idx(node: NodeId) -> usize {
+    match node {
+        NodeId::Ddr => 0,
+        NodeId::Cxl => 1,
+    }
+}
+
+impl PerfMonitor {
+    /// A monitor with an empty window starting at time zero.
+    pub fn new() -> PerfMonitor {
+        PerfMonitor::default()
+    }
+
+    /// Records one 64 B DRAM read (an LLC miss fill) on `node`.
+    pub fn record_read(&mut self, node: NodeId) {
+        self.window_reads[idx(node)] += 1;
+        self.total_reads[idx(node)] += 1;
+    }
+
+    /// Records one 64 B DRAM write (a dirty writeback) on `node`.
+    pub fn record_writeback(&mut self, node: NodeId) {
+        self.total_writebacks[idx(node)] += 1;
+    }
+
+    /// Reads the current window's stats for `node` as of `now` without
+    /// closing the window.
+    pub fn window(&self, node: NodeId, now: Nanos) -> BandwidthStats {
+        BandwidthStats {
+            reads: self.window_reads[idx(node)],
+            window: now.saturating_sub(self.window_start),
+        }
+    }
+
+    /// Closes the measurement window: returns both nodes' stats and starts a
+    /// fresh window at `now`.
+    pub fn rollover(&mut self, now: Nanos) -> [BandwidthStats; 2] {
+        let out = [self.window(NodeId::Ddr, now), self.window(NodeId::Cxl, now)];
+        self.window_reads = [0; 2];
+        self.window_start = now;
+        out
+    }
+
+    /// Cumulative 64 B reads served by `node` since construction.
+    pub fn total_reads(&self, node: NodeId) -> u64 {
+        self.total_reads[idx(node)]
+    }
+
+    /// Cumulative 64 B writebacks absorbed by `node` since construction.
+    pub fn total_writebacks(&self, node: NodeId) -> u64 {
+        self.total_writebacks[idx(node)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_bandwidth() {
+        let mut pm = PerfMonitor::new();
+        for _ in 0..1000 {
+            pm.record_read(NodeId::Cxl);
+        }
+        let w = pm.window(NodeId::Cxl, Nanos::from_micros(64));
+        assert_eq!(w.reads, 1000);
+        // 64 kB in 64 µs = 1 GB/s.
+        assert!((w.bytes_per_sec() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rollover_resets_window_but_not_totals() {
+        let mut pm = PerfMonitor::new();
+        pm.record_read(NodeId::Ddr);
+        pm.record_read(NodeId::Ddr);
+        let [ddr, cxl] = pm.rollover(Nanos(100));
+        assert_eq!(ddr.reads, 2);
+        assert_eq!(cxl.reads, 0);
+        assert_eq!(pm.window(NodeId::Ddr, Nanos(150)).reads, 0);
+        assert_eq!(pm.window(NodeId::Ddr, Nanos(150)).window, Nanos(50));
+        assert_eq!(pm.total_reads(NodeId::Ddr), 2);
+    }
+
+    #[test]
+    fn empty_window_has_zero_bandwidth() {
+        let s = BandwidthStats {
+            reads: 5,
+            window: Nanos::ZERO,
+        };
+        assert_eq!(s.bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn writebacks_tracked_separately_from_reads() {
+        let mut pm = PerfMonitor::new();
+        pm.record_writeback(NodeId::Cxl);
+        assert_eq!(pm.total_writebacks(NodeId::Cxl), 1);
+        assert_eq!(pm.total_reads(NodeId::Cxl), 0);
+        assert_eq!(pm.window(NodeId::Cxl, Nanos(10)).reads, 0);
+    }
+}

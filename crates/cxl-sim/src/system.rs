@@ -1,0 +1,894 @@
+//! The composed machine and its run loop.
+//!
+//! A [`System`] wires together the tiered memory, page table, TLB, LLC,
+//! CXL controller, performance monitor, MGLRU and the kernel-cost ledger.
+//! The [`run`] driver pulls accesses from an [`AccessStream`] (a workload),
+//! pushes them through [`System::access`], dispatches hinting faults and
+//! periodic wakeups to a [`MigrationDaemon`], and assembles a
+//! [`RunReport`].
+//!
+//! ## Timing model
+//!
+//! Each access advances the simulated clock by its end-to-end latency:
+//! LLC hit time, plus a page walk on a TLB miss, plus the node's DRAM
+//! latency on an LLC miss, plus soft-fault handling if the page was
+//! unmapped. Kernel work performed by a migration daemon additionally
+//! advances the clock when the daemon is co-located with the application
+//! core (`SystemConfig::colocated_daemon`, the paper's §6 methodology) —
+//! this is how identification overhead turns into application slowdown.
+//!
+//! Copy-engine traffic of page migration is *not* visible to the
+//! performance monitor or the CXL snoop devices: we model it as a DCOH/DMA
+//! transfer whose cost is folded into `CostModel::migrate_per_page`. This
+//! keeps `bw()` an application-demand signal, which is what the
+//! M5-manager's Monitor needs (§5.2), and keeps the profiled access counts
+//! attributable to the application.
+
+use crate::addr::{CacheLineAddr, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
+use crate::cache::Llc;
+use crate::config::{Placement, SystemConfig};
+use crate::controller::{CxlController, CxlDevice, DeviceHandle};
+use crate::kernel::{CostKind, KernelCosts};
+use crate::memory::{NodeId, OutOfFrames, TieredMemory};
+use crate::mglru::MgLru;
+use crate::migration::{BatchOutcome, MigrateError, MigrationStats};
+use crate::paging::PageTable;
+use crate::perfmon::PerfMonitor;
+use crate::report::{LatencyHistogram, RunReport};
+use crate::time::{Clock, Nanos};
+use crate::tlb::Tlb;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A contiguous virtual region handed to a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: VirtAddr,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Region {
+    /// Iterates over the region's virtual page numbers.
+    pub fn vpns(&self) -> impl Iterator<Item = Vpn> {
+        let first = self.base.vpn().0;
+        (first..first + self.pages).map(Vpn)
+    }
+
+    /// Whether `vpn` falls inside this region.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        let first = self.base.vpn().0;
+        (first..first + self.pages).contains(&vpn.0)
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.pages * crate::addr::PAGE_SIZE as u64
+    }
+}
+
+/// One memory access issued by a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The virtual byte address touched.
+    pub vaddr: VirtAddr,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Whether this access completes a client-visible operation (used for
+    /// per-op latency percentiles, e.g. Redis p99).
+    pub op_end: bool,
+}
+
+impl Access {
+    /// A load with no op marker.
+    pub fn read(vaddr: VirtAddr) -> Access {
+        Access {
+            vaddr,
+            is_write: false,
+            op_end: false,
+        }
+    }
+
+    /// A store with no op marker.
+    pub fn write(vaddr: VirtAddr) -> Access {
+        Access {
+            vaddr,
+            is_write: true,
+            op_end: false,
+        }
+    }
+
+    /// Marks this access as the end of an operation.
+    pub fn end_op(mut self) -> Access {
+        self.op_end = true;
+        self
+    }
+}
+
+/// A source of memory accesses (implemented by every workload in
+/// `m5-workloads`).
+pub trait AccessStream {
+    /// Produces the next access, or `None` when the workload is complete.
+    fn next_access(&mut self) -> Option<Access>;
+}
+
+/// The result of one [`System::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// End-to-end latency of the access (already applied to the clock).
+    pub latency: Nanos,
+    /// Whether the LLC served the access.
+    pub llc_hit: bool,
+    /// The node that served the miss fill, if any.
+    pub dram_node: Option<NodeId>,
+    /// The physical cache line touched in DRAM, if any.
+    pub line: Option<CacheLineAddr>,
+    /// Whether a soft (hinting) page fault was taken.
+    pub hinting_fault: bool,
+}
+
+/// A daemon that observes system events and migrates pages — ANB, DAMON, or
+/// the M5-manager. The no-op implementation is [`NoMigration`].
+pub trait MigrationDaemon {
+    /// A short label used in reports.
+    fn name(&self) -> &str;
+
+    /// Called once before the run starts.
+    fn on_start(&mut self, _sys: &mut System) {}
+
+    /// The next simulated instant at which [`MigrationDaemon::on_tick`]
+    /// should run, or `None` for a purely event-driven daemon.
+    fn next_wake(&self) -> Option<Nanos> {
+        None
+    }
+
+    /// Periodic work (scanning, querying trackers, migrating). The
+    /// implementation must move its own `next_wake` forward, or the driver
+    /// will stop invoking it for the current instant.
+    fn on_tick(&mut self, _sys: &mut System) {}
+
+    /// A hinting page fault was taken on `vpn` (ANB's migration trigger).
+    fn on_fault(&mut self, _vpn: Vpn, _sys: &mut System) {}
+}
+
+/// The trivial daemon: never migrates (the paper's "no page migration"
+/// baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMigration;
+
+impl MigrationDaemon for NoMigration {
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// The composed tiered-memory machine.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    clock: Clock,
+    memory: TieredMemory,
+    page_table: PageTable,
+    tlb: Tlb,
+    llc: Llc,
+    controller: CxlController,
+    perfmon: PerfMonitor,
+    kernel: KernelCosts,
+    ddr_lru: MgLru,
+    migrations: MigrationStats,
+    hinting_faults: u64,
+    next_vpn: u64,
+    placement_rng: SmallRng,
+    last_tlb_flush: Nanos,
+}
+
+impl System {
+    /// Builds a machine from `config`.
+    pub fn new(config: SystemConfig) -> System {
+        System {
+            memory: TieredMemory::new(config.ddr.clone(), config.cxl.clone()),
+            tlb: Tlb::new(config.tlb),
+            llc: Llc::new(config.llc),
+            controller: CxlController::new(),
+            perfmon: PerfMonitor::new(),
+            kernel: KernelCosts::new(),
+            ddr_lru: MgLru::new(),
+            migrations: MigrationStats::default(),
+            hinting_faults: 0,
+            next_vpn: 0,
+            placement_rng: SmallRng::seed_from_u64(0x4d35_0001),
+            last_tlb_flush: Nanos::ZERO,
+            page_table: PageTable::new(),
+            clock: Clock::new(),
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Allocates a region of `pages` pages placed per `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] if a node runs out of capacity. When
+    /// interleaved placement finds DDR full it falls back to CXL (and vice
+    /// versa), so only total exhaustion fails.
+    pub fn alloc_region(&mut self, pages: u64, placement: Placement) -> Result<Region, OutOfFrames> {
+        let base_vpn = self.next_vpn;
+        let mut rng = match placement {
+            Placement::Interleaved { seed, .. } => SmallRng::seed_from_u64(seed),
+            _ => SmallRng::seed_from_u64(self.placement_rng.gen()),
+        };
+        for i in 0..pages {
+            let vpn = Vpn(base_vpn + i);
+            let want = match placement {
+                Placement::AllOnCxl => NodeId::Cxl,
+                Placement::AllOnDdr => NodeId::Ddr,
+                Placement::Interleaved { ddr_fraction, .. } => {
+                    if rng.gen::<f64>() < ddr_fraction {
+                        NodeId::Ddr
+                    } else {
+                        NodeId::Cxl
+                    }
+                }
+            };
+            let pfn = match self.memory.alloc_on(want) {
+                Ok(pfn) => pfn,
+                Err(_) if matches!(placement, Placement::Interleaved { .. }) => {
+                    self.memory.alloc_on(want.other())?
+                }
+                Err(e) => return Err(e),
+            };
+            self.page_table.map(vpn, pfn);
+            if NodeId::of_pfn(pfn) == NodeId::Ddr {
+                self.ddr_lru.insert(vpn);
+            }
+        }
+        self.next_vpn += pages;
+        Ok(Region {
+            base: Vpn(base_vpn).base(),
+            pages,
+        })
+    }
+
+    /// Performs one memory access, advancing the clock by its latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vaddr` is not mapped — workloads only touch regions they
+    /// allocated, so an unmapped access is a bug.
+    pub fn access(&mut self, vaddr: VirtAddr, is_write: bool) -> AccessOutcome {
+        let vpn = vaddr.vpn();
+        let costs = self.config.costs;
+        let mut latency = Nanos::ZERO;
+        let mut hinting_fault = false;
+
+        // Context-switch-style full TLB flush: the passive invalidation that
+        // lets accessed bits get re-set for TLB-resident hot pages (§2.1).
+        if let Some(interval) = self.config.tlb_flush_interval {
+            if self.clock.now() - self.last_tlb_flush >= interval {
+                self.tlb.flush();
+                self.last_tlb_flush = self.clock.now();
+            }
+        }
+
+        let pte = *self
+            .page_table
+            .get(vpn)
+            .unwrap_or_else(|| panic!("access to unmapped address {vaddr:?}"));
+
+        if !pte.flags.present() {
+            // Soft (hinting) page fault: kernel re-establishes the mapping.
+            hinting_fault = true;
+            self.hinting_faults += 1;
+            self.kernel.bill(CostKind::HintingFault, costs.hinting_fault);
+            latency += costs.hinting_fault;
+            self.page_table.set_present(vpn);
+        }
+
+        if !self.tlb.lookup(vpn) {
+            latency += costs.page_walk;
+            self.page_table.set_accessed(vpn);
+            self.tlb.insert(vpn);
+        }
+
+        if is_write {
+            self.page_table.set_dirty(vpn);
+        }
+
+        let pfn = pte.pfn;
+        let word = WordIndex(vaddr.word_index().0);
+        let line = pfn.word(word).cache_line();
+        latency += costs.llc_hit;
+
+        let res = self.llc.access(line, is_write);
+        let mut dram_node = None;
+        if !res.hit {
+            let node = NodeId::of_pfn(pfn);
+            latency += self.memory.node(node).access_latency();
+            self.perfmon.record_read(node);
+            if node == NodeId::Cxl {
+                self.controller.snoop(line, false, self.clock.now());
+            }
+            dram_node = Some(node);
+        }
+        if let Some(wb) = res.writeback {
+            let wb_node = NodeId::of_pfn(wb.pfn());
+            self.perfmon.record_writeback(wb_node);
+            if wb_node == NodeId::Cxl {
+                self.controller.snoop(wb, true, self.clock.now());
+            }
+        }
+
+        self.clock.advance(latency);
+        AccessOutcome {
+            latency,
+            llc_hit: res.hit,
+            dram_node,
+            line: if res.hit { None } else { Some(line) },
+            hinting_fault,
+        }
+    }
+
+    /// Bills daemon kernel work; when the daemon is co-located with the
+    /// application core, the clock advances too (the application stalls).
+    pub fn daemon_bill(&mut self, kind: CostKind, d: Nanos) {
+        self.kernel.bill(kind, d);
+        if self.config.colocated_daemon {
+            self.clock.advance(d);
+        }
+    }
+
+    /// Migrates `vpn` to `dst`, with the Promoter-style safety checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MigrateError`] if the page is unmapped, already on `dst`,
+    /// pinned, node-bound, or `dst` is full. No cost is billed on failure
+    /// except for the rejected-stat bump.
+    pub fn migrate_page(&mut self, vpn: Vpn, dst: NodeId) -> Result<(), MigrateError> {
+        let pte = match self.page_table.get(vpn) {
+            Some(p) => *p,
+            None => {
+                self.migrations.rejected += 1;
+                return Err(MigrateError::NotMapped);
+            }
+        };
+        let check = if pte.node() == dst {
+            Some(MigrateError::AlreadyThere)
+        } else if pte.flags.pinned() {
+            Some(MigrateError::Pinned)
+        } else if pte.flags.cxl_bound() && dst == NodeId::Ddr {
+            Some(MigrateError::NodeBound)
+        } else {
+            None
+        };
+        if let Some(e) = check {
+            self.migrations.rejected += 1;
+            return Err(e);
+        }
+        let new_pfn = match self.memory.alloc_on(dst) {
+            Ok(p) => p,
+            Err(e) => {
+                self.migrations.rejected += 1;
+                return Err(MigrateError::DestinationFull(e));
+            }
+        };
+        let old_pfn = self.page_table.remap(vpn, new_pfn);
+        self.memory.free(old_pfn);
+
+        // Shootdown + copy costs.
+        self.tlb.invalidate(vpn);
+        let costs = self.config.costs;
+        self.daemon_bill(CostKind::TlbShootdown, costs.tlb_shootdown);
+        self.daemon_bill(CostKind::Migration, costs.migrate_per_page);
+
+        // Stale physical lines of the old frame must leave the hierarchy;
+        // the copy optionally pollutes the LLC with the new frame's lines.
+        for w in 0..WORDS_PER_PAGE as u8 {
+            self.llc.invalidate(old_pfn.word(WordIndex(w)).cache_line());
+        }
+        if self.config.migration_pollutes_cache {
+            for w in 0..WORDS_PER_PAGE as u8 {
+                if let Some(wb) = self.llc.fill(new_pfn.word(WordIndex(w)).cache_line(), false) {
+                    self.perfmon.record_writeback(NodeId::of_pfn(wb.pfn()));
+                }
+            }
+        }
+
+        match dst {
+            NodeId::Ddr => self.ddr_lru.insert(vpn),
+            NodeId::Cxl => {
+                self.ddr_lru.remove(vpn);
+            }
+        }
+        self.migrations.record(dst);
+        Ok(())
+    }
+
+    /// Migrates a batch of pages to `dst`, collecting per-page outcomes
+    /// (the `migrate_pages()` interface used by the Promoter).
+    pub fn migrate_batch(&mut self, vpns: &[Vpn], dst: NodeId) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &vpn in vpns {
+            match self.migrate_page(vpn, dst) {
+                Ok(()) => out.migrated.push(vpn),
+                Err(e) => out.rejected.push((vpn, e)),
+            }
+        }
+        out
+    }
+
+    /// Runs one MGLRU aging pass over the DDR-resident pages, billing the
+    /// PTE scans, and returns the number of PTEs scanned.
+    pub fn mglru_age(&mut self) -> u64 {
+        let scanned = self.ddr_lru.age(&mut self.page_table);
+        let per = self.config.costs.pte_scan_per_entry;
+        self.daemon_bill(CostKind::PteScan, per * scanned);
+        scanned
+    }
+
+    /// Demotes up to `n` of the coldest DDR pages to CXL, returning how many
+    /// actually moved. Victims that fail the safety checks are put back.
+    pub fn demote_coldest(&mut self, n: usize) -> usize {
+        let victims = self.ddr_lru.pick_coldest(n);
+        let mut moved = 0;
+        for vpn in victims {
+            match self.migrate_page(vpn, NodeId::Cxl) {
+                Ok(()) => moved += 1,
+                Err(_) => self.ddr_lru.insert(vpn),
+            }
+        }
+        moved
+    }
+
+    /// Promotes `vpns` to DDR, demoting cold pages to make room when the
+    /// fast tier fills up (the paper's §7.2 protocol: once DDR is full,
+    /// every batch of promotions demotes an equal number of MGLRU-cold
+    /// pages). Returns the batch outcome.
+    pub fn promote_with_demotion(&mut self, vpns: &[Vpn], demote_batch: usize) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let mut aged_this_call = false;
+        for &vpn in vpns {
+            match self.migrate_page(vpn, NodeId::Ddr) {
+                Ok(()) => out.migrated.push(vpn),
+                Err(MigrateError::DestinationFull(_)) => {
+                    // Age before the first demotion of this batch so
+                    // recently-accessed pages are refreshed to the young
+                    // generation — otherwise an undifferentiated gen-0
+                    // FIFO would demote the *first-promoted* (typically
+                    // hottest) pages first.
+                    if !aged_this_call {
+                        self.mglru_age();
+                        aged_this_call = true;
+                    }
+                    let demoted = self.demote_coldest(demote_batch.max(1));
+                    if demoted == 0 {
+                        out.rejected
+                            .push((vpn, MigrateError::DestinationFull(OutOfFrames {
+                                node: NodeId::Ddr,
+                            })));
+                        continue;
+                    }
+                    match self.migrate_page(vpn, NodeId::Ddr) {
+                        Ok(()) => out.migrated.push(vpn),
+                        Err(e) => out.rejected.push((vpn, e)),
+                    }
+                }
+                Err(e) => out.rejected.push((vpn, e)),
+            }
+        }
+        out
+    }
+
+    /// Free frames remaining on `node`.
+    pub fn free_frames(&self, node: NodeId) -> u64 {
+        self.memory.node(node).free_frames()
+    }
+
+    /// Pages currently allocated on `node` (the `nr_pages()` Monitor
+    /// function, Table 1).
+    pub fn nr_pages(&self, node: NodeId) -> u64 {
+        self.memory.node(node).allocated_frames()
+    }
+
+    /// Attaches a near-memory device to the CXL controller.
+    pub fn attach_device<D: CxlDevice>(&mut self, device: D) -> DeviceHandle {
+        self.controller.attach(device)
+    }
+
+    /// Borrows an attached device by handle.
+    pub fn device<D: CxlDevice>(&self, handle: DeviceHandle) -> Option<&D> {
+        self.controller.device(handle)
+    }
+
+    /// Mutably borrows an attached device by handle.
+    pub fn device_mut<D: CxlDevice>(&mut self, handle: DeviceHandle) -> Option<&mut D> {
+        self.controller.device_mut(handle)
+    }
+
+    /// The page table (read-only).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The page table (mutable — used by daemons to sample/clear PTE bits
+    /// and by tests).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// The TLB (mutable — ANB's unmap protocol invalidates entries).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// The TLB (read-only).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The LLC (read-only).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// The performance monitor.
+    pub fn perfmon(&self) -> &PerfMonitor {
+        &self.perfmon
+    }
+
+    /// The performance monitor (mutable — the Monitor component rolls its
+    /// measurement window).
+    pub fn perfmon_mut(&mut self) -> &mut PerfMonitor {
+        &mut self.perfmon
+    }
+
+    /// The kernel-cost ledger.
+    pub fn kernel_costs(&self) -> &KernelCosts {
+        &self.kernel
+    }
+
+    /// Cumulative migration statistics.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migrations
+    }
+
+    /// Soft page faults taken so far.
+    pub fn hinting_faults(&self) -> u64 {
+        self.hinting_faults
+    }
+}
+
+/// Drives `workload` through `sys` under `daemon` for at most
+/// `max_accesses` accesses (or until the stream ends), returning a report
+/// of everything that happened during this run (deltas, so a `System` may
+/// be reused across runs).
+pub fn run<W, D>(sys: &mut System, workload: &mut W, daemon: &mut D, max_accesses: u64) -> RunReport
+where
+    W: AccessStream + ?Sized,
+    D: MigrationDaemon + ?Sized,
+{
+    let t0 = sys.now();
+    let llc_hits0 = sys.llc.hits();
+    let llc_misses0 = sys.llc.misses();
+    let reads0 = [
+        sys.perfmon.total_reads(NodeId::Ddr),
+        sys.perfmon.total_reads(NodeId::Cxl),
+    ];
+    let faults0 = sys.hinting_faults;
+    let kernel0 = sys.kernel.clone();
+    let mig0 = sys.migrations;
+
+    daemon.on_start(sys);
+
+    let mut op_hist = LatencyHistogram::new();
+    let mut op_start = sys.now();
+    let mut n = 0u64;
+    while n < max_accesses {
+        let Some(acc) = workload.next_access() else {
+            break;
+        };
+        // Dispatch due wakeups (bounded to avoid a daemon that never
+        // reschedules wedging the loop).
+        let mut ticks = 0;
+        while let Some(w) = daemon.next_wake() {
+            if w > sys.now() || ticks >= 64 {
+                break;
+            }
+            daemon.on_tick(sys);
+            ticks += 1;
+        }
+
+        let out = sys.access(acc.vaddr, acc.is_write);
+        if out.hinting_fault {
+            daemon.on_fault(acc.vaddr.vpn(), sys);
+        }
+        n += 1;
+        if acc.op_end {
+            let now = sys.now();
+            op_hist.record(now - op_start);
+            op_start = now;
+        }
+    }
+
+    RunReport {
+        daemon: daemon.name().to_string(),
+        total_time: sys.now() - t0,
+        accesses: n,
+        llc_hits: sys.llc.hits() - llc_hits0,
+        llc_misses: sys.llc.misses() - llc_misses0,
+        dram_reads: [
+            (NodeId::Ddr, sys.perfmon.total_reads(NodeId::Ddr) - reads0[0]),
+            (NodeId::Cxl, sys.perfmon.total_reads(NodeId::Cxl) - reads0[1]),
+        ],
+        hinting_faults: sys.hinting_faults - faults0,
+        migrations: crate::migration::MigrationStats {
+            promotions: sys.migrations.promotions - mig0.promotions,
+            demotions: sys.migrations.demotions - mig0.demotions,
+            rejected: sys.migrations.rejected - mig0.rejected,
+        },
+        kernel: sys.kernel.delta_since(&kernel0),
+        op_latency: op_hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    fn small_system() -> System {
+        System::new(SystemConfig::small())
+    }
+
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+    }
+
+    #[test]
+    fn alloc_region_places_all_on_cxl() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(10, Placement::AllOnCxl).unwrap();
+        assert_eq!(r.pages, 10);
+        assert_eq!(sys.nr_pages(NodeId::Cxl), 10);
+        assert_eq!(sys.nr_pages(NodeId::Ddr), 0);
+        for vpn in r.vpns() {
+            assert_eq!(sys.page_table().get(vpn).unwrap().node(), NodeId::Cxl);
+        }
+    }
+
+    #[test]
+    fn interleaved_placement_respects_fraction_roughly() {
+        let mut sys = System::new(SystemConfig::small().with_ddr_frames(200).with_cxl_frames(200));
+        sys.alloc_region(
+            200,
+            Placement::Interleaved {
+                ddr_fraction: 0.5,
+                seed: 42,
+            },
+        )
+        .unwrap();
+        let ddr = sys.nr_pages(NodeId::Ddr);
+        assert!((60..=140).contains(&ddr), "ddr={ddr}");
+    }
+
+    #[test]
+    fn access_latency_reflects_node_and_cache() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(1, Placement::AllOnCxl).unwrap();
+        let out = sys.access(r.base, false);
+        // Cold access: page walk + LLC hit time + CXL DRAM.
+        assert!(!out.llc_hit);
+        assert_eq!(out.dram_node, Some(NodeId::Cxl));
+        assert_eq!(out.latency, Nanos(60 + 20 + 270));
+        // Second access to the same line: pure LLC hit.
+        let out2 = sys.access(r.base, false);
+        assert!(out2.llc_hit);
+        assert_eq!(out2.dram_node, None);
+        assert_eq!(out2.latency, Nanos(20));
+    }
+
+    #[test]
+    fn hinting_fault_is_billed_and_cleared() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(1, Placement::AllOnCxl).unwrap();
+        let vpn = r.base.vpn();
+        sys.access(r.base, false);
+        sys.page_table_mut().clear_present(vpn);
+        sys.tlb_mut().invalidate(vpn);
+        let out = sys.access(r.base, false);
+        assert!(out.hinting_fault);
+        assert_eq!(sys.hinting_faults(), 1);
+        assert!(sys.kernel_costs().of(CostKind::HintingFault) > Nanos::ZERO);
+        assert!(sys.page_table().get(vpn).unwrap().flags.present());
+    }
+
+    #[test]
+    fn migration_moves_page_and_bills_costs() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(2, Placement::AllOnCxl).unwrap();
+        let vpn = r.base.vpn();
+        sys.access(r.base, false);
+        sys.migrate_page(vpn, NodeId::Ddr).unwrap();
+        assert_eq!(sys.nr_pages(NodeId::Ddr), 1);
+        assert_eq!(sys.nr_pages(NodeId::Cxl), 1);
+        assert_eq!(sys.page_table().get(vpn).unwrap().node(), NodeId::Ddr);
+        assert_eq!(sys.migration_stats().promotions, 1);
+        assert_eq!(
+            sys.kernel_costs().of(CostKind::Migration),
+            sys.config().costs.migrate_per_page
+        );
+        // The access now goes to DDR (and misses: old lines were invalidated,
+        // pollution filled the *new* frame's lines, so actually it hits).
+        let out = sys.access(r.base, false);
+        assert!(out.llc_hit, "pollution pre-filled the new frame's lines");
+    }
+
+    #[test]
+    fn migration_safety_checks() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(3, Placement::AllOnCxl).unwrap();
+        let a = r.base.vpn();
+        let b = a.offset(1);
+        sys.page_table_mut().set_pinned(a, true);
+        sys.page_table_mut().set_cxl_bound(b, true);
+        assert_eq!(sys.migrate_page(a, NodeId::Ddr), Err(MigrateError::Pinned));
+        assert_eq!(sys.migrate_page(b, NodeId::Ddr), Err(MigrateError::NodeBound));
+        assert_eq!(
+            sys.migrate_page(Vpn(999), NodeId::Ddr),
+            Err(MigrateError::NotMapped)
+        );
+        let c = a.offset(2);
+        sys.migrate_page(c, NodeId::Ddr).unwrap();
+        assert_eq!(sys.migrate_page(c, NodeId::Ddr), Err(MigrateError::AlreadyThere));
+        // Pinned + NodeBound + NotMapped + AlreadyThere.
+        assert_eq!(sys.migration_stats().rejected, 4);
+    }
+
+    #[test]
+    fn destination_full_is_reported() {
+        let mut sys = System::new(SystemConfig::small().with_ddr_frames(1));
+        let r = sys.alloc_region(2, Placement::AllOnCxl).unwrap();
+        let a = r.base.vpn();
+        sys.migrate_page(a, NodeId::Ddr).unwrap();
+        let err = sys.migrate_page(a.offset(1), NodeId::Ddr).unwrap_err();
+        assert!(matches!(err, MigrateError::DestinationFull(_)));
+    }
+
+    #[test]
+    fn demote_coldest_uses_mglru() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(4, Placement::AllOnDdr).unwrap();
+        // Age twice while touching only page 0: others grow cold.
+        sys.access(r.base, false);
+        sys.mglru_age();
+        sys.access(r.base, false);
+        sys.mglru_age();
+        let moved = sys.demote_coldest(2);
+        assert_eq!(moved, 2);
+        assert_eq!(sys.nr_pages(NodeId::Cxl), 2);
+        // Page 0 was kept hot, so it should still be on DDR.
+        assert_eq!(sys.page_table().get(r.base.vpn()).unwrap().node(), NodeId::Ddr);
+    }
+
+    #[test]
+    fn colocated_daemon_work_stalls_the_clock() {
+        let mut sys = small_system();
+        let before = sys.now();
+        sys.daemon_bill(CostKind::PteScan, Nanos(1000));
+        assert_eq!(sys.now() - before, Nanos(1000));
+
+        let mut isolated = System::new(SystemConfig::small().with_isolated_daemon());
+        let before = isolated.now();
+        isolated.daemon_bill(CostKind::PteScan, Nanos(1000));
+        assert_eq!(isolated.now(), before, "isolated daemon does not stall app");
+        assert_eq!(isolated.kernel_costs().of(CostKind::PteScan), Nanos(1000));
+    }
+
+    struct SequentialStream {
+        base: VirtAddr,
+        n: u64,
+        i: u64,
+    }
+
+    impl AccessStream for SequentialStream {
+        fn next_access(&mut self) -> Option<Access> {
+            if self.i >= self.n {
+                return None;
+            }
+            let a = Access::read(self.base.offset(self.i * 64)).end_op();
+            self.i += 1;
+            Some(a)
+        }
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(4, Placement::AllOnCxl).unwrap();
+        let mut wl = SequentialStream {
+            base: r.base,
+            n: 4 * (PAGE_SIZE / 64) as u64,
+            i: 0,
+        };
+        let report = run(&mut sys, &mut wl, &mut NoMigration, u64::MAX);
+        assert_eq!(report.accesses, 256);
+        assert_eq!(report.llc_misses, 256, "every line touched once");
+        assert_eq!(report.reads_on(NodeId::Cxl), 256);
+        assert_eq!(report.reads_on(NodeId::Ddr), 0);
+        assert_eq!(report.op_latency.count(), 256);
+        assert!(report.total_time >= Nanos(256 * 270));
+        assert_eq!(report.daemon, "none");
+    }
+
+    #[test]
+    fn run_reports_deltas_on_reused_system() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(1, Placement::AllOnCxl).unwrap();
+        let mut wl = SequentialStream {
+            base: r.base,
+            n: 10,
+            i: 0,
+        };
+        let first = run(&mut sys, &mut wl, &mut NoMigration, u64::MAX);
+        let mut wl2 = SequentialStream {
+            base: r.base,
+            n: 10,
+            i: 0,
+        };
+        let second = run(&mut sys, &mut wl2, &mut NoMigration, u64::MAX);
+        assert_eq!(first.accesses, 10);
+        assert_eq!(second.accesses, 10);
+        assert_eq!(second.llc_misses, 0, "lines already resident");
+    }
+
+    struct TickingDaemon {
+        wake: Nanos,
+        period: Nanos,
+        ticks: u64,
+    }
+
+    impl MigrationDaemon for TickingDaemon {
+        fn name(&self) -> &str {
+            "ticker"
+        }
+        fn next_wake(&self) -> Option<Nanos> {
+            Some(self.wake)
+        }
+        fn on_tick(&mut self, sys: &mut System) {
+            self.ticks += 1;
+            self.wake = sys.now() + self.period;
+        }
+    }
+
+    #[test]
+    fn daemon_ticks_fire_on_schedule() {
+        let mut sys = small_system();
+        let r = sys.alloc_region(4, Placement::AllOnCxl).unwrap();
+        let mut wl = SequentialStream {
+            base: r.base,
+            n: 200,
+            i: 0,
+        };
+        let mut d = TickingDaemon {
+            wake: Nanos::ZERO,
+            period: Nanos::from_micros(5),
+            ticks: 0,
+        };
+        let report = run(&mut sys, &mut wl, &mut d, u64::MAX);
+        assert!(d.ticks >= 5, "got {} ticks", d.ticks);
+        assert!(report.total_time > Nanos::from_micros(5 * d.ticks as u64 / 2));
+    }
+}

@@ -1,0 +1,199 @@
+//! A set-associative TLB.
+//!
+//! The TLB determines when the hardware page walker runs and therefore when
+//! PTE accessed bits get set — the signal DAMON samples. It is also the
+//! target of shootdowns: ANB's hinting-fault protocol and every page
+//! migration must invalidate translations, which is a large part of their
+//! CPU cost (§2.1, §4.2).
+
+use crate::addr::Vpn;
+use serde::{Deserialize, Serialize};
+
+/// TLB geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Total number of entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// A geometry similar to a modern x86 second-level TLB, scaled to the
+    /// simulator's reduced footprints.
+    pub fn scaled_default() -> TlbConfig {
+        TlbConfig {
+            entries: 512,
+            ways: 8,
+        }
+    }
+
+    /// A tiny TLB for unit tests.
+    pub fn tiny() -> TlbConfig {
+        TlbConfig { entries: 8, ways: 2 }
+    }
+}
+
+/// A single-core, set-associative TLB with per-set LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<Vpn>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.ways > 0 && config.entries > 0);
+        assert_eq!(config.entries % config.ways, 0, "entries must be a multiple of ways");
+        let n_sets = config.entries / config.ways;
+        Tlb {
+            sets: vec![Vec::with_capacity(config.ways); n_sets],
+            ways: config.ways,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn set_index(&self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) % self.sets.len()
+    }
+
+    /// Looks up `vpn`. On a hit the entry becomes most-recently-used and the
+    /// method returns `true`. On a miss it returns `false`; the caller is
+    /// expected to walk the page table and then [`Tlb::insert`].
+    pub fn lookup(&mut self, vpn: Vpn) -> bool {
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&v| v == vpn) {
+            // Move to front: front = most recently used.
+            let v = set.remove(pos);
+            set.insert(0, v);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a translation, evicting the LRU entry of the set if full.
+    pub fn insert(&mut self, vpn: Vpn) {
+        let idx = self.set_index(vpn);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if set.iter().any(|&v| v == vpn) {
+            return;
+        }
+        if set.len() == ways {
+            set.pop();
+        }
+        set.insert(0, vpn);
+    }
+
+    /// Invalidates the translation for `vpn`, if cached (a shootdown for one
+    /// page). Returns `true` if an entry was removed.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&v| v == vpn) {
+            set.remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes the whole TLB (context switch / full shootdown).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            self.invalidations += set.len() as u64;
+            set.clear();
+        }
+    }
+
+    /// Number of lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of entries invalidated so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of valid entries currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        assert!(!tlb.lookup(Vpn(1)));
+        tlb.insert(Vpn(1));
+        assert!(tlb.lookup(Vpn(1)));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // tiny: 8 entries, 2 ways -> 4 sets. VPNs 0, 4, 8 all map to set 0.
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        tlb.insert(Vpn(0));
+        tlb.insert(Vpn(4));
+        assert!(tlb.lookup(Vpn(0))); // 0 becomes MRU; 4 is LRU
+        tlb.insert(Vpn(8)); // evicts 4
+        assert!(tlb.lookup(Vpn(0)));
+        assert!(tlb.lookup(Vpn(8)));
+        assert!(!tlb.lookup(Vpn(4)), "LRU way was evicted");
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        tlb.insert(Vpn(1));
+        tlb.insert(Vpn(2));
+        assert!(tlb.invalidate(Vpn(1)));
+        assert!(!tlb.invalidate(Vpn(1)));
+        assert!(!tlb.lookup(Vpn(1)));
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert!(!tlb.lookup(Vpn(2)));
+        assert_eq!(tlb.invalidations(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        tlb.insert(Vpn(3));
+        tlb.insert(Vpn(3));
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(TlbConfig { entries: 7, ways: 2 });
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 7 — Simulation-based design-space exploration of the top-K
+//! trackers: average access-count ratio of (a) HPT and (b) HWT, for
+//! Space-Saving and CM-Sketch, sweeping the number of entries N.
+//!
+//! Protocol (§7.1): cache-filtered, time-stamped DRAM traces of the four
+//! most memory-intensive SPEC benchmarks plus Liblinear and PageRank are
+//! fed into standalone tracker models; K = 5, query period 1 ms (HPT) /
+//! 100 µs (HWT). Expected shape: precision rises with N for both; at
+//! equal small N Space-Saving beats CM-Sketch (hash collisions); the
+//! FPGA-feasible points are Space-Saving(50) vs CM-Sketch(up to 128K),
+//! where CM-Sketch wins decisively (≈0.97 average at 32K vs ≈0.49 at
+//! SS-50 in the paper).
+
+use cxl_sim::time::Nanos;
+use m5_bench::{access_budget_from_args, banner, collect_trace, epoch_ratio};
+use m5_trackers::topk::{CmSketchTopK, SpaceSavingTopK};
+use m5_workloads::registry::Benchmark;
+
+const K: usize = 5;
+const SS_SWEEP: [usize; 5] = [50, 100, 512, 1024, 2048];
+const CM_SWEEP: [usize; 8] = [50, 100, 512, 1024, 2048, 8192, 32768, 131072];
+
+fn main() {
+    banner(
+        "Figure 7",
+        "tracker DSE: access-count ratio vs N (K=5; HPT 1ms / HWT 100us epochs)",
+    );
+    let accesses = access_budget_from_args();
+    let benches = [
+        Benchmark::CactuBssn,
+        Benchmark::Fotonik3d,
+        Benchmark::Liblinear,
+        Benchmark::Mcf,
+        Benchmark::Pr,
+        Benchmark::Roms,
+    ];
+    // The paper queries HPT every 1 ms and HWT every 100 µs on hardware
+    // that streams ~300K DRAM accesses per ms across 8–20 cores; the
+    // single-core simulator issues ~6K per simulated ms, so periods are
+    // scaled ×50 to hold *accesses per query epoch* constant.
+    for (sub, key_name, period) in [
+        ("(a) HPT", "page", Nanos::from_millis(50)),
+        ("(b) HWT", "word", Nanos::from_millis(5)),
+    ] {
+        println!("\n--- {sub}: tracked key = {key_name}, query period = {period} ---");
+        print!("{:>10} {:>6}", "bench", "alg");
+        let sweep_max = CM_SWEEP.len();
+        for i in 0..sweep_max {
+            print!(" {:>8}", CM_SWEEP[i]);
+        }
+        println!();
+        let mut cm32k_sum = 0.0;
+        let mut ss50_sum = 0.0;
+        for bench in benches {
+            // Cap the in-memory trace: precision converges well before 8M
+            // records, and 13 tracker configs replay it repeatedly.
+            let cap = (accesses as usize).min(8_000_000);
+            let trace = collect_trace(&bench.spec(), accesses, cap, 7);
+            let page_key = key_name == "page";
+            let keyed = |l: cxl_sim::addr::CacheLineAddr| if page_key { l.pfn().0 } else { l.0 };
+
+            print!("{:>10} {:>6}", bench.label(), "SS");
+            for &n in &SS_SWEEP {
+                let mut t = SpaceSavingTopK::new(n, K);
+                let r = epoch_ratio(&trace, keyed, &mut t, K, period);
+                print!(" {r:>8.3}");
+                if n == 50 {
+                    ss50_sum += r;
+                }
+            }
+            for _ in SS_SWEEP.len()..sweep_max {
+                print!(" {:>8}", "-");
+            }
+            println!("  (N>2K not synthesizable)");
+
+            print!("{:>10} {:>6}", "", "CM");
+            for &n in &CM_SWEEP {
+                let mut t = CmSketchTopK::with_total_entries(4, n, K, 11);
+                let r = epoch_ratio(&trace, keyed, &mut t, K, period);
+                print!(" {r:>8.3}");
+                if n == 32768 {
+                    cm32k_sum += r;
+                }
+            }
+            println!();
+        }
+        println!(
+            "means across benchmarks: CM-Sketch(32K) = {:.3}, Space-Saving(50) = {:.3}",
+            cm32k_sum / benches.len() as f64,
+            ss50_sum / benches.len() as f64
+        );
+    }
+    // §7.1's side note: sweeping the hash-row count H from 2 to 16 (at
+    // fixed N = H × W) has only a secondary effect on precision.
+    println!("\n--- H sweep at N = 32K (mcf trace, HPT) ---");
+    let trace = collect_trace(&Benchmark::Mcf.spec(), accesses, (accesses as usize).min(8_000_000), 7);
+    print!("{:>10}", "H");
+    for h in [2usize, 4, 8, 16] {
+        print!(" {h:>8}");
+    }
+    println!();
+    print!("{:>10}", "ratio");
+    for h in [2usize, 4, 8, 16] {
+        let mut t = CmSketchTopK::with_total_entries(h, 32 * 1024, K, 11);
+        let r = epoch_ratio(&trace, |l| l.pfn().0, &mut t, K, Nanos::from_millis(50));
+        print!(" {r:>8.3}");
+    }
+    println!();
+    println!(
+        "\npaper anchors: precision grows with N; SS > CM at equal small N; under FPGA\n\
+         timing CM-Sketch(32K) ≈ 0.97 average while Space-Saving(50) ≈ 0.49;\n\
+         H (2..16) is a secondary effect."
+    );
+}

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the simulator's hot path: the per-access
+//! pipeline (TLB → LLC → DRAM → snoop) and page migration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cxl_sim::memory::NodeId;
+use cxl_sim::prelude::*;
+use m5_profilers::pac::{Pac, PacConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(pages: u64) -> (System, cxl_sim::system::Region) {
+    let mut sys = System::new(
+        SystemConfig::scaled_default()
+            .with_cxl_frames(pages + 64)
+            .with_ddr_frames(pages),
+    );
+    let region = sys.alloc_region(pages, Placement::AllOnCxl).unwrap();
+    (sys, region)
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_access");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    let mut rng = SmallRng::seed_from_u64(5);
+    let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4096u64 * 4096)).collect();
+
+    group.bench_function("random_no_devices", |b| {
+        let (mut sys, region) = setup(4096);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(sys.access(region.base.offset(a), false));
+            }
+        });
+    });
+
+    group.bench_function("random_with_pac", |b| {
+        let (mut sys, region) = setup(4096);
+        sys.attach_device(Pac::new(PacConfig::covering_cxl(&sys)));
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(sys.access(region.base.offset(a), false));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("promote_demote_512", |b| {
+        b.iter(|| {
+            let (mut sys, region) = setup(1024);
+            let vpns: Vec<_> = region.vpns().take(512).collect();
+            let out = sys.promote_with_demotion(&vpns, 64);
+            black_box(out.migrated.len());
+            for vpn in &vpns {
+                let _ = sys.migrate_page(*vpn, NodeId::Cxl);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_access_path, bench_migration
+}
+criterion_main!(benches);

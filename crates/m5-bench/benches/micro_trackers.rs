@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the streaming trackers.
+//!
+//! The hardware requirement (§5.1) is one update per 2.5 ns (tCCD of
+//! DDR4-3200) — the software models obviously don't hit that, but their
+//! relative throughput matters for simulation turnaround, and the update
+//! paths are the hot loops of every figure harness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use m5_trackers::sketch::CmSketch;
+use m5_trackers::spacesaving::SpaceSaving;
+use m5_trackers::topk::{CmSketchTopK, SpaceSavingTopK, TopKAlgorithm};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn zipfish_keys(n: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            (r * r * r * 100_000.0) as u64
+        })
+        .collect()
+}
+
+fn bench_sketch_update(c: &mut Criterion) {
+    let keys = zipfish_keys(100_000);
+    let mut group = c.benchmark_group("cm_sketch_update");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for n in [1024usize, 32 * 1024, 128 * 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sketch = CmSketch::with_total_entries(4, n, 1);
+            b.iter(|| {
+                for &k in &keys {
+                    black_box(sketch.update(k));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_saving_update(c: &mut Criterion) {
+    let keys = zipfish_keys(100_000);
+    let mut group = c.benchmark_group("space_saving_update");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for n in [50usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ss = SpaceSaving::new(n);
+                for &k in &keys {
+                    ss.update(k);
+                }
+                black_box(ss.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_record(c: &mut Criterion) {
+    let keys = zipfish_keys(100_000);
+    let mut group = c.benchmark_group("topk_record");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("cm_sketch_32k_k5", |b| {
+        let mut t = CmSketchTopK::with_total_entries(4, 32 * 1024, 5, 1);
+        b.iter(|| {
+            for &k in &keys {
+                t.record(k);
+            }
+            black_box(t.top_k())
+        });
+    });
+    group.bench_function("space_saving_50_k5", |b| {
+        b.iter(|| {
+            let mut t = SpaceSavingTopK::new(50, 5);
+            for &k in &keys {
+                t.record(k);
+            }
+            black_box(t.top_k())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sketch_update, bench_space_saving_update, bench_topk_record
+}
+criterion_main!(benches);

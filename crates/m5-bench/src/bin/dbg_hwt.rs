@@ -1,0 +1,70 @@
+//! Debug harness: M5(HWT) vs M5(HPT) on Redis — promotion progress and
+//! p99 anatomy. Not part of the figure suite.
+
+use cxl_sim::memory::NodeId;
+use cxl_sim::system::run;
+use m5_bench::standard_system;
+use m5_core::manager::M5Manager;
+use m5_core::policy;
+use m5_workloads::registry::Benchmark;
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000_000);
+    let spec = Benchmark::Redis.spec();
+    let (_, region) = standard_system(&spec);
+    let trace = spec.build(region.base, accesses + 64, 9);
+
+    for which in ["none", "hpt", "hwt"] {
+        let (mut sys, _) = standard_system(&spec);
+        let mut wl = trace.fresh();
+        let report = match which {
+            "none" => run(&mut sys, &mut wl, &mut cxl_sim::system::NoMigration, accesses),
+            "hpt" => {
+                let mut m5 = M5Manager::new(policy::simple_hpt_policy());
+                let r = run(&mut sys, &mut wl, &mut m5, accesses);
+                println!(
+                    "[hpt] epochs {} migrate_epochs {} promoter {:?}",
+                    m5.epochs(),
+                    m5.migrate_epochs(),
+                    m5.promoter_stats()
+                );
+                r
+            }
+            _ => {
+                let mut m5 = M5Manager::new(policy::simple_hwt_policy());
+                let r = run(&mut sys, &mut wl, &mut m5, accesses);
+                println!(
+                    "[hwt] epochs {} migrate_epochs {} promoter {:?}",
+                    m5.epochs(),
+                    m5.migrate_epochs(),
+                    m5.promoter_stats()
+                );
+                r
+            }
+        };
+        // Redis layout: data pages first, then the hash-index pages.
+        let data_pages = 7 * 8192 / 7; // n_keys / objs_per_page
+        let index_on_ddr = (data_pages..(data_pages + 112))
+            .filter(|&p| {
+                sys.page_table()
+                    .get(cxl_sim::addr::Vpn(p))
+                    .map(|pte| pte.node() == NodeId::Ddr)
+                    .unwrap_or(false)
+            })
+            .count();
+        println!("[{which}] index pages on DDR: {index_on_ddr}/112");
+        println!(
+            "[{which}] time {} p50 {:?} p99 {:?} promoted {} ddr_pages {} ddr_reads {} cxl_reads {}",
+            report.total_time,
+            report.op_latency.quantile(0.5),
+            report.p99(),
+            report.migrations.promotions,
+            sys.nr_pages(NodeId::Ddr),
+            report.reads_on(NodeId::Ddr),
+            report.reads_on(NodeId::Cxl),
+        );
+    }
+}

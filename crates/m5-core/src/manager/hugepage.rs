@@ -1,0 +1,163 @@
+//! Huge-page extension (paper §8, "Hot huge pages").
+//!
+//! Applications that allocate 2 MiB huge pages need hotness at 2 MiB
+//! granularity. The paper sketches two routes; this module implements the
+//! first: derive hot 2 MiB page addresses by aggregating HPT's hot 4 KiB
+//! page addresses (exactly as hot 4 KiB pages are derived from hot 64 B
+//! words in §5.2), then consult the OS about which candidates actually
+//! belong to allocated huge pages before migrating.
+
+use cxl_sim::addr::Pfn;
+use std::collections::HashMap;
+
+/// 4 KiB pages per 2 MiB huge page.
+pub const SUBPAGES_PER_HUGE: u64 = 512;
+
+/// A 2 MiB huge-page frame number (`PFN >> 9`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HugePfn(pub u64);
+
+impl HugePfn {
+    /// The huge frame containing `pfn`.
+    pub fn of(pfn: Pfn) -> HugePfn {
+        HugePfn(pfn.0 / SUBPAGES_PER_HUGE)
+    }
+
+    /// The first 4 KiB frame of this huge page.
+    pub fn base(self) -> Pfn {
+        Pfn(self.0 * SUBPAGES_PER_HUGE)
+    }
+}
+
+/// One aggregated candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HugePageEntry {
+    /// The candidate huge frame.
+    pub huge: HugePfn,
+    /// Summed hotness of the contributing 4 KiB pages.
+    pub count: u64,
+    /// Number of distinct hot 4 KiB pages observed inside it (coverage:
+    /// 1..=512). Low coverage with high count = a "sparse" huge page, the
+    /// 2 MiB analogue of Observation 2.
+    pub coverage: u32,
+}
+
+/// Aggregates epochs of HPT output into 2 MiB candidates.
+#[derive(Clone, Debug, Default)]
+pub struct HugePageAggregator {
+    entries: HashMap<HugePfn, (u64, std::collections::HashSet<u64>)>,
+}
+
+impl HugePageAggregator {
+    /// An empty aggregator.
+    pub fn new() -> HugePageAggregator {
+        HugePageAggregator::default()
+    }
+
+    /// Folds one epoch of hot 4 KiB pages into the candidates.
+    pub fn observe(&mut self, hot_pages: &[(Pfn, u64)]) {
+        for &(pfn, count) in hot_pages {
+            let e = self.entries.entry(HugePfn::of(pfn)).or_default();
+            e.0 += count;
+            e.1.insert(pfn.0 % SUBPAGES_PER_HUGE);
+        }
+    }
+
+    /// Number of candidate huge pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `k` hottest candidates, filtered by `is_huge_backed` — the
+    /// OS-consultation step §8 requires (a candidate range might be
+    /// backed by 4 KiB mappings, in which case 4 KiB migration applies
+    /// instead).
+    pub fn hottest(
+        &self,
+        k: usize,
+        mut is_huge_backed: impl FnMut(HugePfn) -> bool,
+    ) -> Vec<HugePageEntry> {
+        let mut v: Vec<HugePageEntry> = self
+            .entries
+            .iter()
+            .filter(|(&h, _)| is_huge_backed(h))
+            .map(|(&huge, (count, cover))| HugePageEntry {
+                huge,
+                count: *count,
+                coverage: cover.len() as u32,
+            })
+            .collect();
+        v.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.huge.cmp(&b.huge)));
+        v.truncate(k);
+        v
+    }
+
+    /// Clears the aggregation (per migration epoch).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfn_in(huge: u64, sub: u64) -> Pfn {
+        Pfn(huge * SUBPAGES_PER_HUGE + sub)
+    }
+
+    #[test]
+    fn huge_pfn_mapping() {
+        assert_eq!(HugePfn::of(Pfn(0)), HugePfn(0));
+        assert_eq!(HugePfn::of(Pfn(511)), HugePfn(0));
+        assert_eq!(HugePfn::of(Pfn(512)), HugePfn(1));
+        assert_eq!(HugePfn(3).base(), Pfn(1536));
+    }
+
+    #[test]
+    fn aggregates_counts_and_coverage() {
+        let mut agg = HugePageAggregator::new();
+        agg.observe(&[
+            (pfn_in(7, 0), 100),
+            (pfn_in(7, 1), 50),
+            (pfn_in(7, 0), 25), // same subpage again: counts add, coverage doesn't
+            (pfn_in(9, 3), 10),
+        ]);
+        let top = agg.hottest(10, |_| true);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].huge, HugePfn(7));
+        assert_eq!(top[0].count, 175);
+        assert_eq!(top[0].coverage, 2);
+        assert_eq!(top[1].huge, HugePfn(9));
+    }
+
+    #[test]
+    fn os_consultation_filters_non_huge_ranges() {
+        let mut agg = HugePageAggregator::new();
+        agg.observe(&[(pfn_in(1, 0), 10), (pfn_in(2, 0), 99)]);
+        // The OS says only huge frame 1 is actually a huge-page mapping.
+        let top = agg.hottest(10, |h| h == HugePfn(1));
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].huge, HugePfn(1));
+    }
+
+    #[test]
+    fn sparse_huge_pages_are_visible_through_coverage() {
+        let mut agg = HugePageAggregator::new();
+        // Huge page 4: one scorching subpage. Huge page 5: 100 warm ones.
+        agg.observe(&[(pfn_in(4, 9), 1000)]);
+        let warm: Vec<(Pfn, u64)> = (0..100).map(|s| (pfn_in(5, s), 8)).collect();
+        agg.observe(&warm);
+        let top = agg.hottest(2, |_| true);
+        assert_eq!(top[0].huge, HugePfn(4), "hotter by count");
+        assert_eq!(top[0].coverage, 1, "...but sparse");
+        assert_eq!(top[1].coverage, 100, "the dense alternative is visible");
+        agg.reset();
+        assert!(agg.is_empty());
+    }
+}

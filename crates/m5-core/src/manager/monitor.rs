@@ -1,0 +1,149 @@
+//! Monitor — Table 1's utilization statistics.
+//!
+//! `nr_pages(node)` comes from the zone allocator (`/proc/zoneinfo`),
+//! `bw(node)` from pcm-style uncore counters (read bandwidth only: with a
+//! write-allocate hierarchy every LLC miss performs a DRAM read first), and
+//! `bw_den(node) = bw(node) / nr_pages(node)` measures how densely hot a
+//! node's resident pages are.
+
+use cxl_sim::kernel::CostKind;
+use cxl_sim::memory::NodeId;
+use cxl_sim::system::System;
+
+/// One sampled snapshot of the tiered system's utilization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierStats {
+    nr_pages: [u64; 2],
+    bw: [f64; 2],
+}
+
+fn idx(node: NodeId) -> usize {
+    match node {
+        NodeId::Ddr => 0,
+        NodeId::Cxl => 1,
+    }
+}
+
+impl TierStats {
+    /// Builds a snapshot from raw samples (`[DDR, CXL]` order).
+    pub fn new(nr_pages: [u64; 2], bw: [f64; 2]) -> TierStats {
+        TierStats { nr_pages, bw }
+    }
+
+    /// Pages allocated to `node`.
+    pub fn nr_pages(&self, node: NodeId) -> u64 {
+        self.nr_pages[idx(node)]
+    }
+
+    /// Consumed read bandwidth of `node` in bytes/second.
+    pub fn bw(&self, node: NodeId) -> f64 {
+        self.bw[idx(node)]
+    }
+
+    /// Bandwidth density: `bw(node)` per allocated page (0 when empty).
+    pub fn bw_den(&self, node: NodeId) -> f64 {
+        let pages = self.nr_pages(node);
+        if pages == 0 {
+            0.0
+        } else {
+            self.bw(node) / pages as f64
+        }
+    }
+
+    /// Total consumed bandwidth, `bw(DDR) + bw(CXL)` — proportional to
+    /// application performance for a given phase (§5.2).
+    pub fn bw_tot(&self) -> f64 {
+        self.bw[0] + self.bw[1]
+    }
+
+    /// `bw_den(node) / bw_tot` — normalised so that execution-phase changes
+    /// in overall intensity do not masquerade as placement changes
+    /// (Algorithm 1, line 5).
+    pub fn rel_bw_den(&self, node: NodeId) -> f64 {
+        let tot = self.bw_tot();
+        if tot == 0.0 {
+            0.0
+        } else {
+            self.bw_den(node) / tot
+        }
+    }
+}
+
+/// The Monitor component: samples [`TierStats`] from the live system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Monitor {
+    samples: u64,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Monitor {
+        Monitor::default()
+    }
+
+    /// Samples the current window's statistics and starts a new window.
+    /// Bills the host the cost of reading the counters.
+    pub fn sample(&mut self, sys: &mut System) -> TierStats {
+        self.samples += 1;
+        // Reading pcm counters + /proc/zoneinfo.
+        let cost = sys.config().costs.mmio_reg_access;
+        sys.daemon_bill(CostKind::ManagerQuery, cost * 2);
+        let now = sys.now();
+        let [ddr, cxl] = sys.perfmon_mut().rollover(now);
+        TierStats {
+            nr_pages: [sys.nr_pages(NodeId::Ddr), sys.nr_pages(NodeId::Cxl)],
+            bw: [ddr.bytes_per_sec(), cxl.bytes_per_sec()],
+        }
+    }
+
+    /// Samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        // 100 DDR pages at 2 GB/s, 400 CXL pages at 4 GB/s.
+        let s = TierStats::new([100, 400], [2e9, 4e9]);
+        assert_eq!(s.nr_pages(NodeId::Ddr), 100);
+        assert!((s.bw(NodeId::Cxl) - 4e9).abs() < 1.0);
+        assert!((s.bw_den(NodeId::Ddr) - 2e7).abs() < 1.0);
+        assert!((s.bw_den(NodeId::Cxl) - 1e7).abs() < 1.0);
+        assert!((s.bw_tot() - 6e9).abs() < 1.0);
+        // DDR's pages are denser: rel_bw_den(DDR) > rel_bw_den(CXL).
+        assert!(s.rel_bw_den(NodeId::Ddr) > s.rel_bw_den(NodeId::Cxl));
+    }
+
+    #[test]
+    fn empty_nodes_do_not_divide_by_zero() {
+        let s = TierStats::new([0, 0], [0.0, 0.0]);
+        assert_eq!(s.bw_den(NodeId::Ddr), 0.0);
+        assert_eq!(s.rel_bw_den(NodeId::Cxl), 0.0);
+        assert_eq!(s.bw_tot(), 0.0);
+    }
+
+    #[test]
+    fn sampling_a_live_system_rolls_the_window() {
+        use cxl_sim::prelude::*;
+        let mut sys = System::new(SystemConfig::small());
+        let r = sys.alloc_region(8, Placement::AllOnCxl).unwrap();
+        for i in 0..512u64 {
+            sys.access(r.base.offset(i * 64), false);
+        }
+        let mut mon = Monitor::new();
+        let s = mon.sample(&mut sys);
+        assert_eq!(s.nr_pages(NodeId::CXL), 8);
+        assert!(s.bw(NodeId::CXL) > 0.0, "cold misses consumed CXL bandwidth");
+        assert_eq!(s.bw(NodeId::DDR), 0.0);
+        // The next window starts empty.
+        let s2 = mon.sample(&mut sys);
+        assert_eq!(s2.bw(NodeId::CXL), 0.0);
+        assert_eq!(mon.samples(), 2);
+        assert!(sys.kernel_costs().of(CostKind::ManagerQuery) > Nanos::ZERO);
+    }
+}

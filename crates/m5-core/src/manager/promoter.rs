@@ -1,0 +1,169 @@
+//! Promoter — the in-kernel interface between the user-space Elector and
+//! `migrate_pages()` (§5.2).
+//!
+//! Receives the Nominator's hot-page addresses (PFNs), translates them to
+//! mappings via the reverse map, checks that each page can be safely
+//! migrated — pages pinned for DMA or explicitly bound to the CXL node are
+//! rejected — and invokes the batched migration.
+
+use super::nominator::HpaEntry;
+use cxl_sim::addr::Vpn;
+use cxl_sim::kernel::CostKind;
+use cxl_sim::migration::{BatchOutcome, MigrateError};
+use cxl_sim::system::System;
+
+/// Promoter tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromoterConfig {
+    /// Cold pages demoted per capacity miss (the paper demotes the same
+    /// number of pages as promoted once DDR fills, §7.2).
+    pub demote_batch: usize,
+}
+
+impl Default for PromoterConfig {
+    fn default() -> PromoterConfig {
+        PromoterConfig { demote_batch: 32 }
+    }
+}
+
+/// Cumulative Promoter statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PromoterStats {
+    /// Pages handed to `migrate_pages()` and moved.
+    pub promoted: u64,
+    /// Candidates dropped because their frame was no longer mapped (stale
+    /// tracker output).
+    pub stale: u64,
+    /// Candidates rejected by the safety checks (pinned / node-bound).
+    pub rejected_unsafe: u64,
+    /// Candidates rejected for capacity or residency reasons.
+    pub rejected_other: u64,
+}
+
+/// The Promoter component.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Promoter {
+    config: PromoterConfig,
+    stats: PromoterStats,
+}
+
+impl Promoter {
+    /// Builds a Promoter.
+    pub fn new(config: PromoterConfig) -> Promoter {
+        Promoter {
+            config,
+            stats: PromoterStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PromoterStats {
+        self.stats
+    }
+
+    /// Promotes the nominated pages, returning the batch outcome. The proc
+    /// write that hands the addresses into the kernel is billed as manager
+    /// work.
+    pub fn promote(&mut self, sys: &mut System, nominated: &[HpaEntry]) -> BatchOutcome {
+        let cost = sys.config().costs.mmio_reg_access;
+        sys.daemon_bill(CostKind::ManagerQuery, cost);
+
+        // PFN → VPN translation; trackers may report frames whose mapping
+        // changed since the epoch started.
+        let mut vpns: Vec<Vpn> = Vec::with_capacity(nominated.len());
+        for e in nominated {
+            match sys.page_table().vpn_of(e.pfn) {
+                Some(vpn) => vpns.push(vpn),
+                None => self.stats.stale += 1,
+            }
+        }
+
+        let out = sys.promote_with_demotion(&vpns, self.config.demote_batch);
+        self.stats.promoted += out.migrated.len() as u64;
+        for (_, err) in &out.rejected {
+            match err {
+                MigrateError::Pinned | MigrateError::NodeBound => {
+                    self.stats.rejected_unsafe += 1
+                }
+                _ => self.stats.rejected_other += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_sim::addr::Pfn;
+    use cxl_sim::memory::NodeId;
+    use cxl_sim::prelude::*;
+
+    fn entry(pfn: Pfn) -> HpaEntry {
+        HpaEntry {
+            pfn,
+            count: 10,
+            mask: 0,
+        }
+    }
+
+    #[test]
+    fn promotes_mapped_candidates() {
+        let mut sys = System::new(SystemConfig::small());
+        let r = sys.alloc_region(4, Placement::AllOnCxl).unwrap();
+        let pfns: Vec<Pfn> = r
+            .vpns()
+            .map(|v| sys.page_table().get(v).unwrap().pfn)
+            .collect();
+        let mut p = Promoter::new(PromoterConfig::default());
+        let out = p.promote(&mut sys, &[entry(pfns[0]), entry(pfns[1])]);
+        assert_eq!(out.migrated.len(), 2);
+        assert_eq!(sys.nr_pages(NodeId::DDR), 2);
+        assert_eq!(p.stats().promoted, 2);
+    }
+
+    #[test]
+    fn rejects_pinned_and_bound_pages() {
+        let mut sys = System::new(SystemConfig::small());
+        let r = sys.alloc_region(2, Placement::AllOnCxl).unwrap();
+        let a = r.base.vpn();
+        let b = a.offset(1);
+        let pfn_a = sys.page_table().get(a).unwrap().pfn;
+        let pfn_b = sys.page_table().get(b).unwrap().pfn;
+        sys.page_table_mut().set_pinned(a, true);
+        sys.page_table_mut().set_cxl_bound(b, true);
+        let mut p = Promoter::new(PromoterConfig::default());
+        let out = p.promote(&mut sys, &[entry(pfn_a), entry(pfn_b)]);
+        assert!(out.migrated.is_empty());
+        assert_eq!(p.stats().rejected_unsafe, 2);
+        assert_eq!(sys.nr_pages(NodeId::DDR), 0);
+    }
+
+    #[test]
+    fn stale_pfns_are_dropped_not_fatal() {
+        let mut sys = System::new(SystemConfig::small());
+        let _ = sys.alloc_region(1, Placement::AllOnCxl).unwrap();
+        let mut p = Promoter::new(PromoterConfig::default());
+        // A frame nothing maps: e.g. an unallocated CXL frame.
+        let out = p.promote(&mut sys, &[entry(Pfn(cxl_sim::memory::CXL_BASE_PFN + 99))]);
+        assert!(out.migrated.is_empty());
+        assert_eq!(p.stats().stale, 1);
+    }
+
+    #[test]
+    fn capacity_pressure_triggers_demotion() {
+        let mut sys = System::new(SystemConfig::small().with_ddr_frames(2));
+        let r = sys.alloc_region(4, Placement::AllOnCxl).unwrap();
+        let pfns: Vec<Pfn> = r
+            .vpns()
+            .map(|v| sys.page_table().get(v).unwrap().pfn)
+            .collect();
+        let mut p = Promoter::new(PromoterConfig::default());
+        let entries: Vec<HpaEntry> = pfns.iter().map(|&f| entry(f)).collect();
+        let out = p.promote(&mut sys, &entries);
+        // All four requested; DDR holds only 2, so demotions made room.
+        assert!(out.migrated.len() >= 2);
+        assert!(sys.migration_stats().demotions > 0 || out.migrated.len() == 4);
+        assert_eq!(sys.nr_pages(NodeId::DDR), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! The MMIO software interface model.
+//!
+//! CXL.io exposes a 2 MiB MMIO region: 1 MiB maps a window of the 4 MiB
+//! SRAM counter array and 1 MiB maps configuration/control registers (§3).
+//! To reach all counters, software programs a base-address register and
+//! reads `base + offset`. This module models the *traffic*, not the data —
+//! the profiler structs already hold the counters — so harnesses can bill
+//! the readout cost precisely (window switches are register writes, counter
+//! reads are MMIO reads).
+
+/// Size of the counter window in bytes (1 MiB).
+pub const WINDOW_BYTES: u64 = 1 << 20;
+
+/// An MMIO window with a base register paging over `total_bytes` of SRAM.
+#[derive(Clone, Debug)]
+pub struct MmioWindow {
+    total_bytes: u64,
+    base: u64,
+    reg_writes: u64,
+    reads: u64,
+}
+
+impl MmioWindow {
+    /// A window over an SRAM unit of `total_bytes` (e.g. 4 MiB for PAC).
+    pub fn new(total_bytes: u64) -> MmioWindow {
+        MmioWindow {
+            total_bytes,
+            base: 0,
+            reg_writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// The currently programmed window base.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Reads the counter word at absolute SRAM byte `addr`, reprogramming
+    /// the base register first if `addr` falls outside the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the SRAM unit.
+    pub fn read_at(&mut self, addr: u64) {
+        assert!(addr < self.total_bytes, "MMIO read past SRAM end");
+        if addr < self.base || addr >= self.base + WINDOW_BYTES {
+            self.base = addr - (addr % WINDOW_BYTES);
+            self.reg_writes += 1;
+        }
+        self.reads += 1;
+    }
+
+    /// Reads a contiguous `[start, start + len)` byte range, accounting for
+    /// every window switch; `stride` is the counter width in bytes.
+    pub fn read_range(&mut self, start: u64, len: u64, stride: u64) {
+        let mut addr = start;
+        while addr < start + len {
+            self.read_at(addr);
+            addr += stride;
+        }
+    }
+
+    /// Base-register writes performed so far.
+    pub fn reg_writes(&self) -> u64 {
+        self.reg_writes
+    }
+
+    /// Counter reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Resets the traffic counters (not the base register).
+    pub fn reset_traffic(&mut self) {
+        self.reg_writes = 0;
+        self.reads = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_within_window_need_no_reprogramming() {
+        let mut w = MmioWindow::new(4 << 20);
+        w.read_at(0);
+        w.read_at(WINDOW_BYTES - 2);
+        assert_eq!(w.reads(), 2);
+        assert_eq!(w.reg_writes(), 0, "first window starts at base 0");
+    }
+
+    #[test]
+    fn crossing_windows_writes_base_register() {
+        let mut w = MmioWindow::new(4 << 20);
+        w.read_at(WINDOW_BYTES); // second window
+        assert_eq!(w.reg_writes(), 1);
+        assert_eq!(w.base(), WINDOW_BYTES);
+        w.read_at(WINDOW_BYTES + 4); // same window
+        assert_eq!(w.reg_writes(), 1);
+        w.read_at(0); // back to the first
+        assert_eq!(w.reg_writes(), 2);
+    }
+
+    #[test]
+    fn full_sram_scan_switches_four_times_minus_initial() {
+        // 4 MiB of 16-bit counters read through a 1 MiB window: 3 switches
+        // beyond the initial window.
+        let mut w = MmioWindow::new(4 << 20);
+        w.read_range(0, 4 << 20, 2);
+        assert_eq!(w.reads(), (4 << 20) / 2);
+        assert_eq!(w.reg_writes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past SRAM end")]
+    fn out_of_range_read_panics() {
+        let mut w = MmioWindow::new(1024);
+        w.read_at(1024);
+    }
+
+    #[test]
+    fn traffic_reset() {
+        let mut w = MmioWindow::new(4 << 20);
+        w.read_at(WINDOW_BYTES * 2);
+        w.reset_traffic();
+        assert_eq!(w.reads(), 0);
+        assert_eq!(w.reg_writes(), 0);
+        assert_eq!(w.base(), WINDOW_BYTES * 2, "base survives reset");
+    }
+}

@@ -1,0 +1,289 @@
+//! PAC — the Page Access Counter (§3).
+//!
+//! An address-to-PFN converter snoops every access address flowing from the
+//! CXL IP to the memory controllers and right-shifts `PA[47:6]` by 6 bits;
+//! an SRAM unit holds one `L`-bit saturating counter per monitored 4 KiB
+//! page; saturated counters are accumulated into a 64-bit access-count
+//! table and reset, so the final per-page counts are **exact** — unlike
+//! PEBS-style sampling, PAC observes every DRAM access.
+
+use crate::count_table::AccessCountTable;
+use crate::mmio::MmioWindow;
+use cxl_sim::addr::{CacheLineAddr, Pfn};
+use cxl_sim::controller::CxlDevice;
+use cxl_sim::memory::CXL_BASE_PFN;
+use cxl_sim::system::System;
+use cxl_sim::time::Nanos;
+use std::any::Any;
+
+/// PAC configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacConfig {
+    /// Counter width `L` in bits (16 in the paper: saturates only after
+    /// ~20 s even for memory-intensive workloads).
+    pub counter_bits: u32,
+    /// First monitored PFN.
+    pub base: Pfn,
+    /// Number of monitored pages.
+    pub pages: u64,
+}
+
+impl PacConfig {
+    /// A PAC covering the system's whole CXL node with 16-bit counters.
+    pub fn covering_cxl(sys: &System) -> PacConfig {
+        PacConfig {
+            counter_bits: 16,
+            base: Pfn(CXL_BASE_PFN),
+            pages: sys.config().cxl.capacity_frames,
+        }
+    }
+}
+
+/// The Page Access Counter device.
+#[derive(Clone, Debug)]
+pub struct Pac {
+    config: PacConfig,
+    max: u64,
+    sram: Vec<u64>,
+    table: AccessCountTable,
+    counted: u64,
+    out_of_range: u64,
+    mmio: MmioWindow,
+}
+
+impl Pac {
+    /// Builds a PAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 63, or if `pages` is 0.
+    pub fn new(config: PacConfig) -> Pac {
+        assert!(
+            (1..=63).contains(&config.counter_bits),
+            "counter width must be 1..=63 bits"
+        );
+        assert!(config.pages > 0, "must monitor at least one page");
+        Pac {
+            max: (1u64 << config.counter_bits) - 1,
+            sram: vec![0; config.pages as usize],
+            table: AccessCountTable::new(),
+            counted: 0,
+            out_of_range: 0,
+            // Each page's counter is L bits; model the SRAM in whole bytes.
+            mmio: MmioWindow::new(config.pages * config.counter_bits.div_ceil(8) as u64),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PacConfig {
+        &self.config
+    }
+
+    fn index_of(&self, pfn: Pfn) -> Option<usize> {
+        let rel = pfn.0.checked_sub(self.config.base.0)?;
+        (rel < self.config.pages).then_some(rel as usize)
+    }
+
+    /// The exact access count of `pfn` (SRAM residue plus spilled table
+    /// value); `0` for unmonitored pages.
+    pub fn count(&self, pfn: Pfn) -> u64 {
+        match self.index_of(pfn) {
+            Some(idx) => self.sram[idx] + self.table.get(pfn.0),
+            None => 0,
+        }
+    }
+
+    /// Total accesses counted (all monitored pages).
+    pub fn total_counted(&self) -> u64 {
+        self.counted
+    }
+
+    /// Accesses that fell outside the monitored range.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// D2H/D2D spill writes performed by saturation handling.
+    pub fn spill_writes(&self) -> u64 {
+        self.table.spill_writes()
+    }
+
+    /// Iterates `(pfn, count)` over monitored pages with nonzero counts.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (Pfn, u64)> + '_ {
+        self.sram.iter().enumerate().filter_map(move |(i, &c)| {
+            let pfn = Pfn(self.config.base.0 + i as u64);
+            let total = c + self.table.get(pfn.0);
+            (total > 0).then_some((pfn, total))
+        })
+    }
+
+    /// The `k` hottest pages, hottest first (ties broken by PFN).
+    pub fn hottest(&self, k: usize) -> Vec<(Pfn, u64)> {
+        let mut v: Vec<(Pfn, u64)> = self.iter_counts().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Sum of the counts of the top `k` pages — the denominator of the
+    /// paper's average access-count ratio (§4.1, step S5).
+    pub fn top_k_sum(&self, k: usize) -> u64 {
+        self.hottest(k).iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Sum of the counts of an arbitrary set of pages — the numerator of
+    /// the access-count ratio (§4.1, step S4: look up each identified PFN).
+    pub fn sum_counts_of<I: IntoIterator<Item = Pfn>>(&self, pfns: I) -> u64 {
+        pfns.into_iter().map(|p| self.count(p)).sum()
+    }
+
+    /// Simulates a full software readout of the SRAM through the 1 MiB MMIO
+    /// window, returning `(base-register writes, counter reads)`.
+    pub fn simulate_full_readout(&mut self) -> (u64, u64) {
+        self.mmio.reset_traffic();
+        let stride = self.config.counter_bits.div_ceil(8) as u64;
+        self.mmio.read_range(0, self.config.pages * stride, stride);
+        (self.mmio.reg_writes(), self.mmio.reads())
+    }
+
+    /// Clears all counters and the spill table.
+    pub fn reset(&mut self) {
+        self.sram.fill(0);
+        self.table.clear();
+        self.counted = 0;
+        self.out_of_range = 0;
+    }
+}
+
+impl CxlDevice for Pac {
+    fn name(&self) -> &str {
+        "pac"
+    }
+
+    fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        let pfn = line.pfn();
+        match self.index_of(pfn) {
+            Some(idx) => {
+                self.counted += 1;
+                self.sram[idx] += 1;
+                if self.sram[idx] == self.max {
+                    self.table.spill(pfn.0, self.max);
+                    self.sram[idx] = 0;
+                }
+            }
+            None => self.out_of_range += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_sim::addr::WordIndex;
+
+    fn small_pac(bits: u32) -> Pac {
+        Pac::new(PacConfig {
+            counter_bits: bits,
+            base: Pfn(CXL_BASE_PFN),
+            pages: 16,
+        })
+    }
+
+    fn touch(pac: &mut Pac, page: u64, times: u64) {
+        let line = Pfn(CXL_BASE_PFN + page).word(WordIndex(0)).cache_line();
+        for _ in 0..times {
+            pac.on_access(line, false, Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let mut pac = small_pac(16);
+        touch(&mut pac, 0, 123);
+        touch(&mut pac, 3, 7);
+        assert_eq!(pac.count(Pfn(CXL_BASE_PFN)), 123);
+        assert_eq!(pac.count(Pfn(CXL_BASE_PFN + 3)), 7);
+        assert_eq!(pac.count(Pfn(CXL_BASE_PFN + 1)), 0);
+        assert_eq!(pac.total_counted(), 130);
+    }
+
+    #[test]
+    fn saturation_spills_to_table_and_counts_stay_exact() {
+        // 4-bit counters saturate at 15.
+        let mut pac = small_pac(4);
+        touch(&mut pac, 2, 100);
+        assert_eq!(pac.count(Pfn(CXL_BASE_PFN + 2)), 100, "exact despite spills");
+        assert_eq!(pac.spill_writes(), 100 / 15);
+    }
+
+    #[test]
+    fn different_words_of_one_page_count_to_that_page() {
+        let mut pac = small_pac(16);
+        let pfn = Pfn(CXL_BASE_PFN + 5);
+        for w in 0..64u8 {
+            pac.on_access(pfn.word(WordIndex(w)).cache_line(), false, Nanos::ZERO);
+        }
+        assert_eq!(pac.count(pfn), 64);
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_ignored_but_counted() {
+        let mut pac = small_pac(16);
+        // DDR access: PFN below the CXL base.
+        pac.on_access(Pfn(1).word(WordIndex(0)).cache_line(), false, Nanos::ZERO);
+        // Beyond the monitored window.
+        pac.on_access(
+            Pfn(CXL_BASE_PFN + 100).word(WordIndex(0)).cache_line(),
+            false,
+            Nanos::ZERO,
+        );
+        assert_eq!(pac.total_counted(), 0);
+        assert_eq!(pac.out_of_range(), 2);
+    }
+
+    #[test]
+    fn hottest_and_ratio_helpers() {
+        let mut pac = small_pac(16);
+        touch(&mut pac, 0, 50);
+        touch(&mut pac, 1, 30);
+        touch(&mut pac, 2, 10);
+        let top = pac.hottest(2);
+        assert_eq!(top[0], (Pfn(CXL_BASE_PFN), 50));
+        assert_eq!(top[1], (Pfn(CXL_BASE_PFN + 1), 30));
+        assert_eq!(pac.top_k_sum(2), 80);
+        // A "warm page" list achieves a lower sum than the true top-2.
+        let warm = pac.sum_counts_of([Pfn(CXL_BASE_PFN + 1), Pfn(CXL_BASE_PFN + 2)]);
+        assert_eq!(warm, 40);
+    }
+
+    #[test]
+    fn readout_traffic_scales_with_sram_size() {
+        let mut big = Pac::new(PacConfig {
+            counter_bits: 16,
+            base: Pfn(CXL_BASE_PFN),
+            pages: 2 * 1024 * 1024, // 4 MiB of 16-bit counters
+        });
+        let (switches, reads) = big.simulate_full_readout();
+        assert_eq!(reads, 2 * 1024 * 1024);
+        assert_eq!(switches, 3, "4 MiB through a 1 MiB window");
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut pac = small_pac(4);
+        touch(&mut pac, 0, 99);
+        pac.reset();
+        assert_eq!(pac.count(Pfn(CXL_BASE_PFN)), 0);
+        assert_eq!(pac.total_counted(), 0);
+        assert_eq!(pac.iter_counts().count(), 0);
+    }
+}

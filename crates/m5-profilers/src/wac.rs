@@ -1,0 +1,310 @@
+//! WAC — the Word Access Counter (§3).
+//!
+//! The same datapath as PAC but without the address-to-PFN conversion: one
+//! saturating counter per 64 B word. Exact word-granular counting of a
+//! whole 256 GB device would need 8 GB of counters, so WAC monitors a
+//! configurable *region window* (128 MB with 4-bit counters in the paper)
+//! that software re-aims across intervals or runs. Counts spilled to the
+//! 64-bit access-count table are keyed by absolute word address, so
+//! multi-window profiles accumulate correctly.
+
+use crate::count_table::AccessCountTable;
+use cxl_sim::addr::{CacheLineAddr, Pfn, WORDS_PER_PAGE};
+use cxl_sim::controller::CxlDevice;
+use cxl_sim::memory::CXL_BASE_PFN;
+use cxl_sim::system::System;
+use cxl_sim::time::Nanos;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// WAC configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WacConfig {
+    /// Counter width in bits (4 in the paper's 128 MB window mode).
+    pub counter_bits: u32,
+    /// First monitored word (cache-line address).
+    pub window_base: CacheLineAddr,
+    /// Number of monitored words.
+    pub window_words: u64,
+}
+
+impl WacConfig {
+    /// A WAC whose window covers the system's whole CXL node (possible at
+    /// simulated scale; real hardware would sweep 128 MB windows).
+    pub fn covering_cxl(sys: &System) -> WacConfig {
+        WacConfig {
+            counter_bits: 4,
+            window_base: Pfn(CXL_BASE_PFN).base().cache_line(),
+            window_words: sys.config().cxl.capacity_frames * WORDS_PER_PAGE as u64,
+        }
+    }
+
+    /// The paper's hardware window: 128 MB of words with 4-bit counters,
+    /// starting at `base`.
+    pub fn paper_window(base: CacheLineAddr) -> WacConfig {
+        WacConfig {
+            counter_bits: 4,
+            window_base: base,
+            window_words: (128 << 20) / 64,
+        }
+    }
+}
+
+/// The Word Access Counter device.
+#[derive(Clone, Debug)]
+pub struct Wac {
+    config: WacConfig,
+    max: u64,
+    sram: Vec<u8>,
+    table: AccessCountTable,
+    counted: u64,
+    out_of_window: u64,
+}
+
+impl Wac {
+    /// Builds a WAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 8 (the windowed SRAM
+    /// model stores at most a byte per word), or if the window is empty.
+    pub fn new(config: WacConfig) -> Wac {
+        assert!(
+            (1..=8).contains(&config.counter_bits),
+            "word counters are 1..=8 bits"
+        );
+        assert!(config.window_words > 0, "window must be non-empty");
+        Wac {
+            max: (1u64 << config.counter_bits) - 1,
+            sram: vec![0; config.window_words as usize],
+            table: AccessCountTable::new(),
+            counted: 0,
+            out_of_window: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WacConfig {
+        &self.config
+    }
+
+    fn index_of(&self, line: CacheLineAddr) -> Option<usize> {
+        let rel = line.0.checked_sub(self.config.window_base.0)?;
+        (rel < self.config.window_words).then_some(rel as usize)
+    }
+
+    /// Re-aims the window at `base`, first spilling all SRAM residues into
+    /// the table so no counts are lost (the multi-interval mode of §3).
+    pub fn aim(&mut self, base: CacheLineAddr) {
+        self.flush_sram();
+        self.config.window_base = base;
+    }
+
+    /// Spills every nonzero SRAM counter into the table and clears the SRAM.
+    pub fn flush_sram(&mut self) {
+        for (i, c) in self.sram.iter_mut().enumerate() {
+            if *c > 0 {
+                self.table.spill(self.config.window_base.0 + i as u64, *c as u64);
+                *c = 0;
+            }
+        }
+    }
+
+    /// The exact access count of `line` (SRAM residue + table).
+    pub fn word_count(&self, line: CacheLineAddr) -> u64 {
+        let sram = self
+            .index_of(line)
+            .map_or(0, |idx| self.sram[idx] as u64);
+        sram + self.table.get(line.0)
+    }
+
+    /// Total word accesses counted.
+    pub fn total_counted(&self) -> u64 {
+        self.counted
+    }
+
+    /// Accesses that fell outside the current window.
+    pub fn out_of_window(&self) -> u64 {
+        self.out_of_window
+    }
+
+    /// Iterates `(line, count)` over words with nonzero counts, merging the
+    /// current window's SRAM with spilled history.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (CacheLineAddr, u64)> + '_ {
+        let mut merged: HashMap<u64, u64> = self.table.iter().collect();
+        for (i, &c) in self.sram.iter().enumerate() {
+            if c > 0 {
+                *merged.entry(self.config.window_base.0 + i as u64).or_default() += c as u64;
+            }
+        }
+        merged.into_iter().map(|(a, c)| (CacheLineAddr(a), c))
+    }
+
+    /// The `k` hottest words, hottest first (ties broken by address).
+    pub fn hottest(&self, k: usize) -> Vec<(CacheLineAddr, u64)> {
+        let mut v: Vec<(CacheLineAddr, u64)> = self.iter_counts().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Sum of the counts of the top `k` words.
+    pub fn top_k_sum(&self, k: usize) -> u64 {
+        self.hottest(k).iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Sum of the counts of an arbitrary word set.
+    pub fn sum_counts_of<I: IntoIterator<Item = CacheLineAddr>>(&self, lines: I) -> u64 {
+        lines.into_iter().map(|l| self.word_count(l)).sum()
+    }
+
+    /// Number of *unique* words accessed in each page — the Figure 4
+    /// access-sparsity metric. Returns `(pfn → unique words)` for every
+    /// page with at least one counted word.
+    pub fn unique_words_per_page(&self) -> HashMap<Pfn, u32> {
+        let mut out: HashMap<Pfn, u32> = HashMap::new();
+        for (line, _) in self.iter_counts() {
+            *out.entry(line.pfn()).or_default() += 1;
+        }
+        out
+    }
+
+    /// Clears all counters and history.
+    pub fn reset(&mut self) {
+        self.sram.fill(0);
+        self.table.clear();
+        self.counted = 0;
+        self.out_of_window = 0;
+    }
+}
+
+impl CxlDevice for Wac {
+    fn name(&self) -> &str {
+        "wac"
+    }
+
+    fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        match self.index_of(line) {
+            Some(idx) => {
+                self.counted += 1;
+                self.sram[idx] += 1;
+                if self.sram[idx] as u64 == self.max {
+                    self.table.spill(line.0, self.max);
+                    self.sram[idx] = 0;
+                }
+            }
+            None => self.out_of_window += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_sim::addr::WordIndex;
+
+    fn base() -> CacheLineAddr {
+        Pfn(CXL_BASE_PFN).base().cache_line()
+    }
+
+    fn wac_with_words(words: u64, bits: u32) -> Wac {
+        Wac::new(WacConfig {
+            counter_bits: bits,
+            window_base: base(),
+            window_words: words,
+        })
+    }
+
+    #[test]
+    fn exact_counts_despite_4bit_saturation() {
+        let mut wac = wac_with_words(256, 4);
+        let line = base();
+        for _ in 0..1000 {
+            wac.on_access(line, false, Nanos::ZERO);
+        }
+        assert_eq!(wac.word_count(line), 1000);
+        assert_eq!(wac.total_counted(), 1000);
+        assert!(wac.table.spill_writes() >= 1000 / 15);
+    }
+
+    #[test]
+    fn unique_words_per_page_measures_sparsity() {
+        let mut wac = wac_with_words(64 * 4, 4);
+        let pfn0 = Pfn(CXL_BASE_PFN);
+        let pfn1 = Pfn(CXL_BASE_PFN + 1);
+        // Page 0: sparse, only 3 unique words (one touched repeatedly).
+        for w in [0u8, 5, 9] {
+            for _ in 0..10 {
+                wac.on_access(pfn0.word(WordIndex(w)).cache_line(), false, Nanos::ZERO);
+            }
+        }
+        // Page 1: dense, all 64 words.
+        for w in 0..64u8 {
+            wac.on_access(pfn1.word(WordIndex(w)).cache_line(), false, Nanos::ZERO);
+        }
+        let uniq = wac.unique_words_per_page();
+        assert_eq!(uniq[&pfn0], 3);
+        assert_eq!(uniq[&pfn1], 64);
+    }
+
+    #[test]
+    fn window_reaim_preserves_history() {
+        let mut wac = wac_with_words(64, 4);
+        let first = base();
+        for _ in 0..7 {
+            wac.on_access(first, false, Nanos::ZERO);
+        }
+        // Accesses beyond the window are not counted...
+        let far = CacheLineAddr(base().0 + 1000);
+        wac.on_access(far, false, Nanos::ZERO);
+        assert_eq!(wac.out_of_window(), 1);
+        // ...until the window is re-aimed there.
+        wac.aim(CacheLineAddr(base().0 + 1000));
+        for _ in 0..3 {
+            wac.on_access(far, false, Nanos::ZERO);
+        }
+        assert_eq!(wac.word_count(far), 3);
+        assert_eq!(wac.word_count(first), 7, "history preserved via table");
+    }
+
+    #[test]
+    fn hottest_orders_by_count() {
+        let mut wac = wac_with_words(64, 8);
+        let a = base();
+        let b = CacheLineAddr(base().0 + 1);
+        for _ in 0..5 {
+            wac.on_access(a, false, Nanos::ZERO);
+        }
+        for _ in 0..9 {
+            wac.on_access(b, false, Nanos::ZERO);
+        }
+        assert_eq!(wac.hottest(2), vec![(b, 9), (a, 5)]);
+        assert_eq!(wac.top_k_sum(1), 9);
+        assert_eq!(wac.sum_counts_of([a, b]), 14);
+    }
+
+    #[test]
+    fn paper_window_is_128mb() {
+        let cfg = WacConfig::paper_window(base());
+        assert_eq!(cfg.window_words, 2 * 1024 * 1024);
+        assert_eq!(cfg.counter_bits, 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut wac = wac_with_words(4, 4);
+        wac.on_access(base(), false, Nanos::ZERO);
+        wac.reset();
+        assert_eq!(wac.total_counted(), 0);
+        assert_eq!(wac.word_count(base()), 0);
+    }
+}

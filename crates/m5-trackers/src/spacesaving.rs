@@ -1,0 +1,242 @@
+//! The Space-Saving algorithm (Metwally et al., 2005), the counter-based
+//! top-K tracker the paper compares CM-Sketch against (it underlies the
+//! Mithril Row-Hammer defence).
+//!
+//! `N` monitored counters. A hit increments its counter; a miss while full
+//! evicts the minimum counter, inheriting `min + 1` with error `min`. The
+//! classic guarantees hold: every monitored count over-estimates by at most
+//! its recorded `error`, and `error ≤ total/N`.
+//!
+//! The hardware analogue is an `N`-entry CAM that must compare all entries
+//! in parallel each cycle — which is why synthesis caps `N` at ~50 (FPGA)
+//! or ~2K (7 nm ASIC) under the 400 MHz constraint (§7.1), while CM-Sketch
+//! scales to 128K SRAM entries.
+
+use std::collections::HashMap;
+
+/// One monitored counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsEntry {
+    /// The monitored address.
+    pub addr: u64,
+    /// Estimated count (≥ true count).
+    pub count: u64,
+    /// Maximum over-estimate inherited at admission.
+    pub error: u64,
+}
+
+/// Space-Saving with `N` counters.
+///
+/// Entries are kept sorted *descending* by count in a dense vector; because
+/// counts only change by +1, a swap toward the front keeps ordering in
+/// amortised O(1), and the eviction victim is always the tail.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<SsEntry>,
+    index: HashMap<u64, usize>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Builds an empty tracker with `n` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> SpaceSaving {
+        assert!(n > 0, "need at least one counter");
+        SpaceSaving {
+            capacity: n,
+            entries: Vec::with_capacity(n),
+            index: HashMap::with_capacity(n),
+            total: 0,
+        }
+    }
+
+    /// The number of counters `N`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live monitored addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total updates since the last reset.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one access to `addr`.
+    pub fn update(&mut self, addr: u64) {
+        self.total += 1;
+        if let Some(&pos) = self.index.get(&addr) {
+            self.entries[pos].count += 1;
+            self.resift(pos);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(SsEntry {
+                addr,
+                count: 1,
+                error: 0,
+            });
+            let pos = self.entries.len() - 1;
+            self.index.insert(addr, pos);
+            self.resift(pos);
+            return;
+        }
+        // Evict the minimum (the tail) and inherit its count.
+        let tail = self.entries.len() - 1;
+        let victim = self.entries[tail];
+        self.index.remove(&victim.addr);
+        self.entries[tail] = SsEntry {
+            addr,
+            count: victim.count + 1,
+            error: victim.count,
+        };
+        self.index.insert(addr, tail);
+        self.resift(tail);
+    }
+
+    /// Restores descending order after `pos`'s count was bumped.
+    ///
+    /// Counts only ever grow to `old + 1` (increment or inherit-min), so the
+    /// displaced predecessors form a run of equal counts `old`; swapping with
+    /// the run's head preserves order and costs O(log N) via binary search.
+    fn resift(&mut self, pos: usize) {
+        let c = self.entries[pos].count;
+        // First index in [0, pos) whose count is < c (the head of the run of
+        // equal `c - 1` counts, if any).
+        let head = self.entries[..pos].partition_point(|e| e.count >= c);
+        if head < pos {
+            debug_assert!(self.entries[head..pos].iter().all(|e| e.count == c - 1));
+            self.entries.swap(head, pos);
+            self.index.insert(self.entries[head].addr, head);
+            self.index.insert(self.entries[pos].addr, pos);
+        }
+    }
+
+    /// Estimated count for `addr` (`0` if unmonitored).
+    pub fn estimate(&self, addr: u64) -> u64 {
+        self.index
+            .get(&addr)
+            .map_or(0, |&pos| self.entries[pos].count)
+    }
+
+    /// The `k` hottest monitored entries, hottest first.
+    pub fn top_k(&self, k: usize) -> Vec<SsEntry> {
+        self.entries.iter().take(k).copied().collect()
+    }
+
+    /// All monitored entries, hottest first.
+    pub fn entries(&self) -> &[SsEntry] {
+        &self.entries
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_while_under_capacity() {
+        let mut ss = SpaceSaving::new(4);
+        for _ in 0..5 {
+            ss.update(1);
+        }
+        for _ in 0..3 {
+            ss.update(2);
+        }
+        assert_eq!(ss.estimate(1), 5);
+        assert_eq!(ss.estimate(2), 3);
+        assert_eq!(ss.top_k(1)[0].addr, 1);
+        assert_eq!(ss.top_k(1)[0].error, 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_plus_one() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(1);
+        ss.update(1);
+        ss.update(2);
+        // 3 misses while full: evicts 2 (count 1), inherits count 2 error 1.
+        ss.update(3);
+        assert_eq!(ss.estimate(2), 0);
+        let e3 = ss.entries().iter().find(|e| e.addr == 3).unwrap();
+        assert_eq!(e3.count, 2);
+        assert_eq!(e3.error, 1);
+    }
+
+    #[test]
+    fn overestimate_bounded_by_total_over_n() {
+        let mut ss = SpaceSaving::new(8);
+        let mut truth = std::collections::HashMap::<u64, u64>::new();
+        // Skewed stream over 50 keys.
+        let mut x: u64 = 12345;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 50;
+            let key = key * key / 50; // skew toward small keys
+            ss.update(key);
+            *truth.entry(key).or_default() += 1;
+        }
+        let bound = ss.total() / 8;
+        for e in ss.entries() {
+            let t = truth[&e.addr];
+            assert!(e.count >= t, "never underestimates");
+            assert!(e.count - t <= e.error, "error field bounds overestimate");
+            assert!(e.error <= bound, "classic error bound");
+        }
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let mut ss = SpaceSaving::new(4);
+        for k in [1, 2, 3, 1, 3, 3, 4, 5, 1] {
+            ss.update(k);
+            let counts: Vec<u64> = ss.entries().iter().map(|e| e.count).collect();
+            let mut sorted = counts.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(counts, sorted);
+        }
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(9);
+        ss.reset();
+        assert!(ss.is_empty());
+        assert_eq!(ss.total(), 0);
+        assert_eq!(ss.estimate(9), 0);
+    }
+
+    #[test]
+    fn index_consistency_under_churn() {
+        let mut ss = SpaceSaving::new(16);
+        let mut x: u64 = 7;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ss.update((x >> 40) % 200);
+        }
+        for (pos, e) in ss.entries().iter().enumerate() {
+            assert_eq!(ss.index[&e.addr], pos, "index desync at {pos}");
+        }
+        assert_eq!(ss.len(), 16);
+    }
+}

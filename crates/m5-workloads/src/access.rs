@@ -1,0 +1,223 @@
+//! The replayable access trace all workload generators produce.
+//!
+//! Generators record *region-relative* accesses once; a [`ReplayWorkload`]
+//! binds the trace to a concrete region base at run time. Because the trace
+//! is immutable and cheaply cloneable (`Arc`), the same byte-identical
+//! access stream can be replayed under every migration daemon — removing
+//! workload noise from cross-daemon comparisons, exactly like replaying a
+//! recorded trace on real hardware.
+
+use cxl_sim::addr::VirtAddr;
+use cxl_sim::system::{Access, AccessStream};
+use std::sync::Arc;
+
+const WRITE_BIT: u64 = 1 << 63;
+const OP_END_BIT: u64 = 1 << 62;
+const ADDR_MASK: u64 = (1 << 48) - 1;
+
+/// Records region-relative accesses during workload generation.
+#[derive(Clone, Debug, Default)]
+pub struct AccessRecorder {
+    buf: Vec<u64>,
+}
+
+impl AccessRecorder {
+    /// An empty recorder.
+    pub fn new() -> AccessRecorder {
+        AccessRecorder::default()
+    }
+
+    /// A recorder pre-sized for `n` accesses.
+    pub fn with_capacity(n: usize) -> AccessRecorder {
+        AccessRecorder {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one access at region-relative byte offset `rel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rel` does not fit in 48 bits.
+    #[inline]
+    pub fn push(&mut self, rel: u64, is_write: bool, op_end: bool) {
+        debug_assert!(rel <= ADDR_MASK, "relative offset overflows 48 bits");
+        let mut w = rel;
+        if is_write {
+            w |= WRITE_BIT;
+        }
+        if op_end {
+            w |= OP_END_BIT;
+        }
+        self.buf.push(w);
+    }
+
+    /// Records a read.
+    #[inline]
+    pub fn read(&mut self, rel: u64) {
+        self.push(rel, false, false);
+    }
+
+    /// Records a write.
+    #[inline]
+    pub fn write(&mut self, rel: u64) {
+        self.push(rel, true, false);
+    }
+
+    /// Number of accesses recorded.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Marks the most recent access as the end of an operation.
+    pub fn mark_op_end(&mut self) {
+        if let Some(last) = self.buf.last_mut() {
+            *last |= OP_END_BIT;
+        }
+    }
+
+    /// Finalises the trace into a replayable workload named `name`.
+    pub fn into_workload(self, name: impl Into<String>, base: VirtAddr) -> ReplayWorkload {
+        ReplayWorkload {
+            name: name.into(),
+            trace: Arc::new(self.buf),
+            base,
+            pos: 0,
+        }
+    }
+}
+
+/// An immutable recorded trace bound to a region base.
+#[derive(Clone, Debug)]
+pub struct ReplayWorkload {
+    name: String,
+    trace: Arc<Vec<u64>>,
+    base: VirtAddr,
+    pos: usize,
+}
+
+impl ReplayWorkload {
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// A fresh replay of the same trace from the start (cheap: the trace is
+    /// shared).
+    pub fn fresh(&self) -> ReplayWorkload {
+        ReplayWorkload {
+            name: self.name.clone(),
+            trace: Arc::clone(&self.trace),
+            base: self.base,
+            pos: 0,
+        }
+    }
+
+    /// The same trace re-bound to a different region base.
+    pub fn rebased(&self, base: VirtAddr) -> ReplayWorkload {
+        ReplayWorkload {
+            name: self.name.clone(),
+            trace: Arc::clone(&self.trace),
+            base,
+            pos: 0,
+        }
+    }
+
+    /// The highest region-relative byte offset touched, plus one (the
+    /// region size the trace needs).
+    pub fn max_extent(&self) -> u64 {
+        self.trace
+            .iter()
+            .map(|w| (w & ADDR_MASK) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl AccessStream for ReplayWorkload {
+    #[inline]
+    fn next_access(&mut self) -> Option<Access> {
+        let w = *self.trace.get(self.pos)?;
+        self.pos += 1;
+        Some(Access {
+            vaddr: VirtAddr(self.base.0 + (w & ADDR_MASK)),
+            is_write: w & WRITE_BIT != 0,
+            op_end: w & OP_END_BIT != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_flags_and_offsets() {
+        let mut rec = AccessRecorder::new();
+        rec.read(0);
+        rec.write(4096 + 64);
+        rec.push(8192, false, true);
+        let mut wl = rec.into_workload("t", VirtAddr(1 << 20));
+        assert_eq!(wl.len(), 3);
+        let a = wl.next_access().unwrap();
+        assert_eq!(a.vaddr, VirtAddr(1 << 20));
+        assert!(!a.is_write && !a.op_end);
+        let b = wl.next_access().unwrap();
+        assert_eq!(b.vaddr, VirtAddr((1 << 20) + 4160));
+        assert!(b.is_write);
+        let c = wl.next_access().unwrap();
+        assert!(c.op_end);
+        assert!(wl.next_access().is_none());
+    }
+
+    #[test]
+    fn fresh_replays_identically() {
+        let mut rec = AccessRecorder::new();
+        for i in 0..10 {
+            rec.read(i * 64);
+        }
+        let mut a = rec.into_workload("t", VirtAddr(0));
+        let mut b = a.fresh();
+        while let (Some(x), Some(y)) = (a.next_access(), b.next_access()) {
+            assert_eq!(x, y);
+        }
+        let mut c = b.fresh();
+        assert!(c.next_access().is_some(), "fresh resets the cursor");
+    }
+
+    #[test]
+    fn mark_op_end_applies_to_last() {
+        let mut rec = AccessRecorder::new();
+        rec.read(0);
+        rec.read(64);
+        rec.mark_op_end();
+        let mut wl = rec.into_workload("t", VirtAddr(0));
+        assert!(!wl.next_access().unwrap().op_end);
+        assert!(wl.next_access().unwrap().op_end);
+    }
+
+    #[test]
+    fn rebase_and_extent() {
+        let mut rec = AccessRecorder::new();
+        rec.read(12345);
+        let wl = rec.into_workload("t", VirtAddr(0));
+        assert_eq!(wl.max_extent(), 12346);
+        let mut moved = wl.rebased(VirtAddr(4096));
+        assert_eq!(moved.next_access().unwrap().vaddr, VirtAddr(4096 + 12345));
+    }
+}

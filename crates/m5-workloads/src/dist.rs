@@ -1,0 +1,173 @@
+//! Popularity distributions shared by the workload generators.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` using the classic cumulative-probability
+/// table with binary search — exact, deterministic given the RNG, and fast
+/// enough for hundreds of millions of draws.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` with exponent `theta` (`0` = uniform;
+    /// `~0.99` = YCSB-style heavy skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "need a non-empty universe");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// The universe size.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws one rank (0 = most popular).
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Deterministically shuffles ranks onto items so that popular ranks are
+/// scattered across the address space (real allocators do not place hot
+/// objects contiguously). A Feistel-style bijection over `0..n`.
+#[derive(Clone, Copy, Debug)]
+pub struct Scatter {
+    n: u64,
+    seed: u64,
+}
+
+impl Scatter {
+    /// A bijection over `0..n` parameterised by `seed`.
+    pub fn new(n: u64, seed: u64) -> Scatter {
+        Scatter { n, seed }
+    }
+
+    /// Maps rank `i` to a unique item index in `0..n`.
+    ///
+    /// Classic cycle-walking: iterate a permutation of the enclosing
+    /// power-of-two domain until the value lands in `0..n`. Because the
+    /// inner step (xorshift ∘ odd-multiplier LCG, both bijective modulo a
+    /// power of two) is a permutation of the whole domain, the first
+    /// in-range element of each orbit is unique — the composite is a true
+    /// bijection on `0..n`.
+    #[inline]
+    pub fn map(&self, i: u64) -> u64 {
+        debug_assert!(i < self.n);
+        if self.n == 1 {
+            return 0;
+        }
+        let bits = 64 - (self.n - 1).leading_zeros();
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mul = (m5_mix(self.seed) | 1) & mask; // odd ⇒ bijective mod 2^bits
+        let add = m5_mix(self.seed ^ 0xabcd) & mask;
+        let shift = (bits / 2).max(1);
+        let mut x = i;
+        loop {
+            // Bijective on [0, 2^bits): xorshift then LCG.
+            x ^= x >> shift;
+            x = x.wrapping_mul(mul).wrapping_add(add) & mask;
+            if x < self.n {
+                return x;
+            }
+        }
+    }
+}
+
+/// A deterministic hash for placing slab slot `(page, slot)` at a word
+/// offset — stable across runs so the same object always lives at the same
+/// place, like a real allocator.
+#[inline]
+pub fn hash_slot(page: u64, slot: u64, seed: u64) -> u64 {
+    m5_mix(page.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ slot.rotate_left(17) ^ seed)
+}
+
+#[inline]
+fn m5_mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 31)).wrapping_mul(0x7fb5_d329_728e_a185);
+    x = (x ^ (x >> 27)).wrapping_mul(0x81da_de5b_de93_80d4);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} not ~uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_high_theta_is_head_heavy() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0u32;
+        for _ in 0..100_000 {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top 1% of keys should take well over a third of accesses.
+        assert!(head > 33_000, "head got only {head}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(7, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.n(), 7);
+    }
+
+    #[test]
+    fn scatter_is_a_bijection() {
+        for n in [1u64, 2, 5, 64, 1000] {
+            let s = Scatter::new(n, 42);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                let m = s.map(i);
+                assert!(m < n);
+                assert!(seen.insert(m), "collision at {i} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_depends_on_seed() {
+        let a = Scatter::new(1000, 1);
+        let b = Scatter::new(1000, 2);
+        let diff = (0..1000).filter(|&i| a.map(i) != b.map(i)).count();
+        assert!(diff > 900, "seeds should decorrelate ({diff})");
+    }
+}

@@ -1,0 +1,91 @@
+//! Policy playground: the whole point of M5 is that the manager is a
+//! *platform* — Monitor statistics in, migration decisions out. This
+//! example sweeps Elector policies (fscale shape, default frequency,
+//! nominator mode) on one workload and prints what each choice buys.
+//!
+//! ```bash
+//! cargo run --release --example policy_playground
+//! ```
+
+use m5::core::manager::elector::{ElectorConfig, FScale};
+use m5::core::manager::nominator::NominatorMode;
+use m5::core::manager::{M5Config, M5Manager};
+use m5::core::policy;
+use m5::sim::prelude::*;
+use m5::sim::system::NoMigration;
+use m5::workloads::registry::Benchmark;
+
+const ACCESSES: u64 = 2_000_000;
+
+fn run_policy(config: M5Config, label: &str, baseline: &RunReport) {
+    let spec = Benchmark::Roms.spec();
+    let sys_config = SystemConfig::scaled_default()
+        .with_cxl_frames(spec.footprint_pages + 1024)
+        .with_ddr_frames(spec.footprint_pages / 2);
+    let mut sys = System::new(sys_config);
+    let region = sys
+        .alloc_region(spec.footprint_pages, Placement::AllOnCxl)
+        .expect("fits");
+    let mut wl = spec.build(region.base, ACCESSES + 64, 5);
+    let mut m5 = M5Manager::new(config);
+    let report = m5::sim::system::run(&mut sys, &mut wl, &mut m5, ACCESSES);
+    println!(
+        "{label:>28}: speedup {:.3}x | epochs {} (migrating {}) | promoted {}",
+        report.speedup_vs(baseline),
+        m5.epochs(),
+        m5.migrate_epochs(),
+        report.migrations.promotions,
+    );
+}
+
+fn main() {
+    println!("Elector/Nominator policy sweep on roms (the most skew-rewarding benchmark)\n");
+    let spec = Benchmark::Roms.spec();
+    let sys_config = SystemConfig::scaled_default()
+        .with_cxl_frames(spec.footprint_pages + 1024)
+        .with_ddr_frames(spec.footprint_pages / 2);
+    let mut sys = System::new(sys_config);
+    let region = sys
+        .alloc_region(spec.footprint_pages, Placement::AllOnCxl)
+        .expect("fits");
+    let mut wl = spec.build(region.base, ACCESSES + 64, 5);
+    let baseline = m5::sim::system::run(&mut sys, &mut wl, &mut NoMigration, ACCESSES);
+    println!("{:>28}: {}", "no migration", baseline.total_time);
+
+    // fscale shape sweep (Algorithm 1 line 2; the paper tries n = 3..6).
+    for n in [3.0, 4.0, 6.0] {
+        let mut cfg = policy::simple_hpt_policy();
+        cfg.elector = ElectorConfig {
+            fscale: FScale::Power { n },
+            ..cfg.elector
+        };
+        run_policy(cfg, &format!("fscale = x^{n}"), &baseline);
+    }
+    {
+        let mut cfg = policy::simple_hpt_policy();
+        cfg.elector = ElectorConfig {
+            fscale: FScale::Exponential { n: 1.0 },
+            ..cfg.elector
+        };
+        run_policy(cfg, "fscale = 1*exp(x)", &baseline);
+    }
+
+    // Nominator mechanism sweep (Guidelines 3 and 4).
+    println!();
+    run_policy(policy::simple_hpt_policy(), "HPT-only nominator", &baseline);
+    run_policy(
+        policy::simple_hpt_hwt_policy(),
+        "HPT-driven (dense-first)",
+        &baseline,
+    );
+    run_policy(policy::simple_hwt_policy(), "HWT-driven", &baseline);
+
+    // Batch-size sensitivity.
+    println!();
+    for batch in [8usize, 32, 128] {
+        let mut cfg = policy::simple_hpt_policy();
+        cfg.promote_batch = batch;
+        run_policy(cfg, &format!("promote batch = {batch}"), &baseline);
+    }
+    let _ = NominatorMode::HptOnly; // (documented entry point for custom modes)
+}

@@ -1,0 +1,22 @@
+//! # m5 — a reproduction of the ASPLOS'25 M5 tiered-memory platform
+//!
+//! This facade crate re-exports the whole workspace so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the tiered-memory system simulator substrate,
+//! * [`trackers`] — streaming top-K structures (CM-Sketch, Space-Saving,
+//!   Sticky-Sampling) and the tracker hardware cost model,
+//! * [`profilers`] — PAC and WAC, the exact page/word access counters,
+//! * [`baselines`] — the CPU-driven page-migration baselines (ANB, DAMON),
+//! * [`core`] — the M5 platform itself: HPT/HWT devices plus the
+//!   M5-manager (Monitor, Nominator, Elector, Promoter),
+//! * [`workloads`] — generators for the paper's twelve benchmarks.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a first run.
+
+pub use cxl_sim as sim;
+pub use m5_baselines as baselines;
+pub use m5_core as core;
+pub use m5_profilers as profilers;
+pub use m5_trackers as trackers;
+pub use m5_workloads as workloads;
