@@ -15,6 +15,7 @@
 //! entire point of CXL-driven tracking (§5).
 
 use crate::addr::CacheLineAddr;
+use crate::faults::DeviceFault;
 use crate::time::Nanos;
 use std::any::Any;
 use std::fmt;
@@ -32,6 +33,13 @@ pub trait CxlDevice: Any + Send {
     /// `line` is `PA[47:6]`; `is_write` distinguishes writeback traffic from
     /// miss-fill reads; `now` is the simulated time of the access.
     fn on_access(&mut self, line: CacheLineAddr, is_write: bool, now: Nanos);
+
+    /// Delivers an injected hardware fault to the device's SRAM state.
+    ///
+    /// The default implementation ignores faults — a device that opts out
+    /// simply cannot be corrupted. Trackers and profilers override this to
+    /// model bit flips, counter saturation, and permanent failure.
+    fn on_fault(&mut self, _fault: DeviceFault) {}
 
     /// Upcast for downcasting by [`CxlController::device`].
     fn as_any(&self) -> &dyn Any;
@@ -67,6 +75,14 @@ impl CxlController {
     pub fn snoop(&mut self, line: CacheLineAddr, is_write: bool, now: Nanos) {
         for d in &mut self.devices {
             d.on_access(line, is_write, now);
+        }
+    }
+
+    /// Delivers an injected fault to every attached device (the blast
+    /// radius of SRAM corruption in the shared near-memory block).
+    pub fn inject(&mut self, fault: DeviceFault) {
+        for d in &mut self.devices {
+            d.on_fault(fault);
         }
     }
 

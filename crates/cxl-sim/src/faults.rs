@@ -1,0 +1,605 @@
+//! Deterministic fault injection for the CXL tier (robustness harness).
+//!
+//! Real CXL memory expansion is a *device*: it can run slow (thermal
+//! throttling, link retraining), go mute (controller resets), hand back
+//! poisoned cache lines (ECC), or corrupt its near-memory SRAM state
+//! (PAC/WAC/HPT/HWT counters are not protected like host DRAM). A manager
+//! that only works on a healthy device is not a manager. This module gives
+//! the simulator a way to schedule those failures — reproducibly — so the
+//! rest of the stack can prove it degrades instead of crashing.
+//!
+//! The design has three layers:
+//!
+//! * [`FaultPlan`] — *what* goes wrong and *when*, as a sorted schedule of
+//!   [`ScheduledFault`]s. Plans are built explicitly ([`FaultPlan::with`])
+//!   or pseudo-randomly from a seed ([`FaultPlan::chaos`]). A plan is pure
+//!   data: two runs with the same workload seed and the same plan produce
+//!   identical [`crate::report::RunReport`]s.
+//! * [`FaultInjector`] — the runtime consulted by
+//!   [`crate::system::System`] on every access and migration. It arms
+//!   scheduled faults as simulated time passes, answers "is a stall window
+//!   active?"-style queries, and keeps a per-class ledger for the report.
+//! * [`DeviceFault`] — the command delivered to near-memory devices
+//!   ([`crate::controller::CxlDevice::on_fault`]) so trackers and
+//!   profilers can flip, saturate, or kill their SRAM counters.
+//!
+//! Everything is driven by the *simulated* clock, never wall time, and the
+//! empty plan ([`FaultPlan::none`]) is the default everywhere — a run
+//! without faults is byte-identical to a run on a build that predates this
+//! module.
+
+use crate::addr::VirtAddr;
+use crate::memory::OutOfFrames;
+use crate::migration::MigrateError;
+use crate::time::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The taxonomy of injectable faults, used for counting and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// CXL access latency inflated for a window (link retraining, thermal
+    /// throttling).
+    LatencySpike,
+    /// The controller stops forwarding snoops for a window: near-memory
+    /// devices observe nothing (transient controller stall/reset).
+    ControllerStall,
+    /// A CXL DRAM read returns a poisoned cache line (uncorrectable ECC);
+    /// the kernel's memory-failure handling recovers it.
+    PoisonedLine,
+    /// A single SRAM counter bit flips in every attached device.
+    CounterBitFlip,
+    /// Every SRAM counter in every attached device saturates at once.
+    CounterSaturation,
+    /// A near-memory device fails permanently and returns garbage.
+    DeviceFailure,
+    /// `migrate_pages()`' copy phase fails transiently (DMA error).
+    MigrationCopyFail,
+    /// DDR allocations fail artificially for a window (external memory
+    /// pressure on the fast tier).
+    DdrPressure,
+}
+
+impl FaultClass {
+    /// All classes, in display order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::LatencySpike,
+        FaultClass::ControllerStall,
+        FaultClass::PoisonedLine,
+        FaultClass::CounterBitFlip,
+        FaultClass::CounterSaturation,
+        FaultClass::DeviceFailure,
+        FaultClass::MigrationCopyFail,
+        FaultClass::DdrPressure,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultClass::LatencySpike => 0,
+            FaultClass::ControllerStall => 1,
+            FaultClass::PoisonedLine => 2,
+            FaultClass::CounterBitFlip => 3,
+            FaultClass::CounterSaturation => 4,
+            FaultClass::DeviceFailure => 5,
+            FaultClass::MigrationCopyFail => 6,
+            FaultClass::DdrPressure => 7,
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::LatencySpike => "latency-spike",
+            FaultClass::ControllerStall => "controller-stall",
+            FaultClass::PoisonedLine => "poisoned-line",
+            FaultClass::CounterBitFlip => "counter-bit-flip",
+            FaultClass::CounterSaturation => "counter-saturation",
+            FaultClass::DeviceFailure => "device-failure",
+            FaultClass::MigrationCopyFail => "migration-copy-fail",
+            FaultClass::DdrPressure => "ddr-pressure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fault command delivered to attached [`crate::controller::CxlDevice`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// Flip bit `bit` of SRAM counter slot `slot` (devices reduce both
+    /// modulo their own geometry).
+    SramBitFlip {
+        /// Counter slot index (device reduces modulo its SRAM size).
+        slot: u64,
+        /// Bit position to flip (device reduces modulo its counter width).
+        bit: u32,
+    },
+    /// Saturate every SRAM counter to its maximum value.
+    SramSaturate,
+    /// Permanent failure: the device stops tracking and serves garbage.
+    Fail,
+}
+
+impl DeviceFault {
+    /// The report class of this device fault.
+    pub fn class(self) -> FaultClass {
+        match self {
+            DeviceFault::SramBitFlip { .. } => FaultClass::CounterBitFlip,
+            DeviceFault::SramSaturate => FaultClass::CounterSaturation,
+            DeviceFault::Fail => FaultClass::DeviceFailure,
+        }
+    }
+}
+
+/// What a [`ScheduledFault`] does when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Add `extra` to every CXL DRAM access for `duration`.
+    LatencySpike {
+        /// Additional latency per CXL access while active.
+        extra: Nanos,
+        /// Window length.
+        duration: Nanos,
+    },
+    /// Drop all snoops for `duration` (devices observe nothing).
+    ControllerStall {
+        /// Window length.
+        duration: Nanos,
+    },
+    /// Poison the next `reads` CXL miss fills.
+    PoisonLine {
+        /// Number of subsequent CXL reads that return poison.
+        reads: u32,
+    },
+    /// Deliver a [`DeviceFault`] to every attached device.
+    Device(DeviceFault),
+    /// Fail the next `attempts` page-migration copies.
+    MigrationCopyFail {
+        /// Number of subsequent migration attempts that fail.
+        attempts: u32,
+    },
+    /// Make DDR allocations fail for `duration`.
+    DdrPressure {
+        /// Window length.
+        duration: Nanos,
+    },
+}
+
+impl FaultKind {
+    /// The report class of this fault.
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::LatencySpike { .. } => FaultClass::LatencySpike,
+            FaultKind::ControllerStall { .. } => FaultClass::ControllerStall,
+            FaultKind::PoisonLine { .. } => FaultClass::PoisonedLine,
+            FaultKind::Device(d) => d.class(),
+            FaultKind::MigrationCopyFail { .. } => FaultClass::MigrationCopyFail,
+            FaultKind::DdrPressure { .. } => FaultClass::DdrPressure,
+        }
+    }
+}
+
+/// One fault on the schedule: trigger at simulated instant `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Simulated instant at (or after) which the fault triggers.
+    pub at: Nanos,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// One fault that actually triggered, for the run log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated instant at which the fault armed.
+    pub at: Nanos,
+    /// Its class.
+    pub class: FaultClass,
+}
+
+/// A deterministic schedule of faults. Pure data: cloneable, comparable,
+/// and reusable across systems.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    schedule: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever goes wrong. This is the default used by
+    /// `System::new`, so fault-free runs are unchanged by this module.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan from an explicit schedule (sorted by trigger time; ties keep
+    /// insertion order).
+    pub fn from_schedule(mut schedule: Vec<ScheduledFault>) -> FaultPlan {
+        schedule.sort_by_key(|f| f.at);
+        FaultPlan { schedule }
+    }
+
+    /// Builder-style: adds one fault and returns the plan.
+    pub fn with(mut self, at: Nanos, kind: FaultKind) -> FaultPlan {
+        self.schedule.push(ScheduledFault { at, kind });
+        self.schedule.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// A seeded pseudo-random mix of every fault class spread over
+    /// `[0, horizon)` — the chaos-harness workhorse. The same `seed` and
+    /// `horizon` always produce the same plan.
+    pub fn chaos(seed: u64, horizon: Nanos) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4d35_fa17);
+        let mut schedule = Vec::new();
+        let span = horizon.0.max(8);
+        let window = Nanos(span / 20 + 1);
+        for class in FaultClass::ALL {
+            for _ in 0..rng.gen_range(1u32..=3) {
+                let at = Nanos(rng.gen_range(0..span));
+                let kind = match class {
+                    FaultClass::LatencySpike => FaultKind::LatencySpike {
+                        extra: Nanos(rng.gen_range(100u64..=1_000)),
+                        duration: window,
+                    },
+                    FaultClass::ControllerStall => {
+                        FaultKind::ControllerStall { duration: window }
+                    }
+                    FaultClass::PoisonedLine => FaultKind::PoisonLine {
+                        reads: rng.gen_range(1u32..=4),
+                    },
+                    FaultClass::CounterBitFlip => FaultKind::Device(DeviceFault::SramBitFlip {
+                        slot: rng.gen(),
+                        bit: rng.gen_range(0u32..16),
+                    }),
+                    FaultClass::CounterSaturation => {
+                        FaultKind::Device(DeviceFault::SramSaturate)
+                    }
+                    FaultClass::DeviceFailure => FaultKind::Device(DeviceFault::Fail),
+                    FaultClass::MigrationCopyFail => FaultKind::MigrationCopyFail {
+                        attempts: rng.gen_range(1u32..=8),
+                    },
+                    FaultClass::DdrPressure => FaultKind::DdrPressure { duration: window },
+                };
+                schedule.push(ScheduledFault { at, kind });
+            }
+        }
+        FaultPlan::from_schedule(schedule)
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The schedule, sorted by trigger time.
+    pub fn schedule(&self) -> &[ScheduledFault] {
+        &self.schedule
+    }
+}
+
+/// The runtime that arms [`FaultPlan`] entries as simulated time passes and
+/// answers the `System`'s "what is broken right now?" queries.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    schedule: Vec<ScheduledFault>,
+    next: usize,
+    spike_extra: Nanos,
+    spike_until: Nanos,
+    stall_until: Nanos,
+    pressure_until: Nanos,
+    poison_pending: u32,
+    copy_fail_pending: u32,
+    device_queue: Vec<DeviceFault>,
+    log: Vec<FaultEvent>,
+    counts: [u64; FaultClass::ALL.len()],
+    poison_repairs: u64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> FaultInjector {
+        FaultInjector::none()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never injects.
+    pub fn none() -> FaultInjector {
+        FaultInjector::from_plan(&FaultPlan::none())
+    }
+
+    /// An injector executing `plan`.
+    pub fn from_plan(plan: &FaultPlan) -> FaultInjector {
+        FaultInjector {
+            schedule: plan.schedule.clone(),
+            next: 0,
+            spike_extra: Nanos::ZERO,
+            spike_until: Nanos::ZERO,
+            stall_until: Nanos::ZERO,
+            pressure_until: Nanos::ZERO,
+            poison_pending: 0,
+            copy_fail_pending: 0,
+            device_queue: Vec::new(),
+            log: Vec::new(),
+            counts: [0; FaultClass::ALL.len()],
+            poison_repairs: 0,
+        }
+    }
+
+    /// Arms every scheduled fault whose trigger time has passed. Called by
+    /// the `System` on each access and migration; cheap when idle.
+    pub fn poll(&mut self, now: Nanos) {
+        while let Some(f) = self.schedule.get(self.next) {
+            if f.at > now {
+                break;
+            }
+            let f = *f;
+            self.next += 1;
+            self.counts[f.kind.class().index()] += 1;
+            self.log.push(FaultEvent {
+                at: now,
+                class: f.kind.class(),
+            });
+            match f.kind {
+                FaultKind::LatencySpike { extra, duration } => {
+                    self.spike_extra = self.spike_extra.max(extra);
+                    self.spike_until = self.spike_until.max(now + duration);
+                }
+                FaultKind::ControllerStall { duration } => {
+                    self.stall_until = self.stall_until.max(now + duration);
+                }
+                FaultKind::PoisonLine { reads } => {
+                    self.poison_pending += reads;
+                }
+                FaultKind::Device(d) => self.device_queue.push(d),
+                FaultKind::MigrationCopyFail { attempts } => {
+                    self.copy_fail_pending += attempts;
+                }
+                FaultKind::DdrPressure { duration } => {
+                    self.pressure_until = self.pressure_until.max(now + duration);
+                }
+            }
+        }
+    }
+
+    /// Extra latency added to a CXL access at `now` (zero outside spikes).
+    pub fn cxl_extra_latency(&self, now: Nanos) -> Nanos {
+        if now < self.spike_until {
+            self.spike_extra
+        } else {
+            Nanos::ZERO
+        }
+    }
+
+    /// Whether the controller is stalled (snoops dropped) at `now`.
+    pub fn controller_stalled(&self, now: Nanos) -> bool {
+        now < self.stall_until
+    }
+
+    /// Whether DDR allocations are artificially failing at `now`.
+    pub fn ddr_pressure(&self, now: Nanos) -> bool {
+        now < self.pressure_until
+    }
+
+    /// Consumes one pending poisoned read, if armed.
+    pub fn take_poisoned_read(&mut self) -> bool {
+        if self.poison_pending > 0 {
+            self.poison_pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one pending migration copy failure, if armed.
+    pub fn take_copy_failure(&mut self) -> bool {
+        if self.copy_fail_pending > 0 {
+            self.copy_fail_pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next queued device fault for controller delivery.
+    pub fn pop_device_fault(&mut self) -> Option<DeviceFault> {
+        if self.device_queue.is_empty() {
+            None
+        } else {
+            Some(self.device_queue.remove(0))
+        }
+    }
+
+    /// Records one poisoned line recovered by memory-failure handling.
+    pub fn note_poison_repaired(&mut self) {
+        self.poison_repairs += 1;
+    }
+
+    /// Poisoned lines recovered so far.
+    pub fn poison_repairs(&self) -> u64 {
+        self.poison_repairs
+    }
+
+    /// Every fault that has armed so far, in arming order.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Total faults armed so far.
+    pub fn injected_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Faults of `class` armed so far.
+    pub fn count_of(&self, class: FaultClass) -> u64 {
+        self.counts[class.index()]
+    }
+}
+
+/// Unified simulator error taxonomy: things that can go wrong on the hot
+/// paths and are *recoverable* by the caller (as opposed to invariant
+/// violations, which remain `debug_assert!`s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An access touched an address no region maps.
+    Unmapped(VirtAddr),
+    /// A page migration failed.
+    Migrate(MigrateError),
+    /// A frame allocation failed.
+    OutOfFrames(OutOfFrames),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unmapped(a) => write!(f, "access to unmapped address {a:?}"),
+            SimError::Migrate(e) => write!(f, "migration failed: {e}"),
+            SimError::OutOfFrames(e) => write!(f, "allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Migrate(e) => Some(e),
+            SimError::OutOfFrames(e) => Some(e),
+            SimError::Unmapped(_) => None,
+        }
+    }
+}
+
+impl From<MigrateError> for SimError {
+    fn from(e: MigrateError) -> SimError {
+        SimError::Migrate(e)
+    }
+}
+
+impl From<OutOfFrames> for SimError {
+    fn from(e: OutOfFrames) -> SimError {
+        SimError::OutOfFrames(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_arms() {
+        let mut inj = FaultInjector::none();
+        inj.poll(Nanos::from_secs(10));
+        assert_eq!(inj.injected_total(), 0);
+        assert!(inj.log().is_empty());
+        assert_eq!(inj.cxl_extra_latency(Nanos(5)), Nanos::ZERO);
+        assert!(!inj.controller_stalled(Nanos(5)));
+        assert!(!inj.ddr_pressure(Nanos(5)));
+        assert!(!inj.take_poisoned_read());
+        assert!(!inj.take_copy_failure());
+        assert!(inj.pop_device_fault().is_none());
+    }
+
+    #[test]
+    fn windows_open_and_close_on_the_simulated_clock() {
+        let plan = FaultPlan::none()
+            .with(
+                Nanos(100),
+                FaultKind::LatencySpike {
+                    extra: Nanos(500),
+                    duration: Nanos(50),
+                },
+            )
+            .with(Nanos(100), FaultKind::ControllerStall { duration: Nanos(30) })
+            .with(Nanos(100), FaultKind::DdrPressure { duration: Nanos(70) });
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos(99));
+        assert_eq!(inj.injected_total(), 0, "nothing due yet");
+        inj.poll(Nanos(100));
+        assert_eq!(inj.injected_total(), 3);
+        assert_eq!(inj.cxl_extra_latency(Nanos(120)), Nanos(500));
+        assert!(inj.controller_stalled(Nanos(120)));
+        assert!(inj.ddr_pressure(Nanos(120)));
+        // Windows close independently.
+        assert!(!inj.controller_stalled(Nanos(130)));
+        assert_eq!(inj.cxl_extra_latency(Nanos(150)), Nanos::ZERO);
+        assert!(inj.ddr_pressure(Nanos(169)));
+        assert!(!inj.ddr_pressure(Nanos(170)));
+    }
+
+    #[test]
+    fn one_shot_faults_are_consumed() {
+        let plan = FaultPlan::none()
+            .with(Nanos::ZERO, FaultKind::PoisonLine { reads: 2 })
+            .with(Nanos::ZERO, FaultKind::MigrationCopyFail { attempts: 1 })
+            .with(Nanos::ZERO, FaultKind::Device(DeviceFault::Fail));
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos::ZERO);
+        assert!(inj.take_poisoned_read());
+        assert!(inj.take_poisoned_read());
+        assert!(!inj.take_poisoned_read());
+        assert!(inj.take_copy_failure());
+        assert!(!inj.take_copy_failure());
+        assert_eq!(inj.pop_device_fault(), Some(DeviceFault::Fail));
+        assert!(inj.pop_device_fault().is_none());
+        assert_eq!(inj.count_of(FaultClass::PoisonedLine), 1);
+        assert_eq!(inj.count_of(FaultClass::DeviceFailure), 1);
+    }
+
+    #[test]
+    fn chaos_plans_are_seed_deterministic_and_cover_all_classes() {
+        let a = FaultPlan::chaos(7, Nanos::from_millis(10));
+        let b = FaultPlan::chaos(7, Nanos::from_millis(10));
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::chaos(8, Nanos::from_millis(10));
+        assert_ne!(a, c, "different seed, different plan");
+        for class in FaultClass::ALL {
+            assert!(
+                a.schedule().iter().any(|f| f.kind.class() == class),
+                "chaos plan misses {class}"
+            );
+        }
+        // Sorted by trigger time.
+        assert!(a.schedule().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn sim_error_displays_and_chains() {
+        let e = SimError::from(MigrateError::Pinned);
+        assert!(e.to_string().contains("migration failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = SimError::Unmapped(VirtAddr(0x1000));
+        assert!(std::error::Error::source(&u).is_none());
+        let o = SimError::from(OutOfFrames {
+            node: crate::memory::NodeId::Ddr,
+        });
+        assert!(o.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn overlapping_spikes_take_the_max() {
+        let plan = FaultPlan::none()
+            .with(
+                Nanos(0),
+                FaultKind::LatencySpike {
+                    extra: Nanos(200),
+                    duration: Nanos(100),
+                },
+            )
+            .with(
+                Nanos(10),
+                FaultKind::LatencySpike {
+                    extra: Nanos(900),
+                    duration: Nanos(20),
+                },
+            );
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos(10));
+        assert_eq!(inj.cxl_extra_latency(Nanos(15)), Nanos(900));
+        assert_eq!(inj.count_of(FaultClass::LatencySpike), 2);
+    }
+}

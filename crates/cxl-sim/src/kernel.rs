@@ -97,6 +97,10 @@ pub struct CostModel {
     pub mmio_reg_access: Nanos,
     /// Reading one top-K result batch from a tracker over MMIO.
     pub tracker_query: Nanos,
+    /// Recovering one poisoned cache line via the kernel's memory-failure
+    /// path (isolate the line, re-fetch/zero, resume). Billed only when the
+    /// fault injector poisons a CXL read.
+    pub poison_repair: Nanos,
 }
 
 impl Default for CostModel {
@@ -111,12 +115,13 @@ impl Default for CostModel {
             migrate_per_page: Nanos::from_micros(54),
             mmio_reg_access: Nanos(400),
             tracker_query: Nanos(2_000),
+            poison_repair: Nanos::from_micros(50),
         }
     }
 }
 
 /// The kernel-time ledger.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelCosts {
     by_kind: [Nanos; 6],
     events: [u64; 6],

@@ -20,6 +20,10 @@
 //! * a page-migration engine ([`migration`]) with the cost model of Linux
 //!   `migrate_pages()`,
 //! * a Multi-Generational LRU ([`mglru`]) used to pick demotion victims,
+//! * a deterministic fault injector ([`faults`]) that schedules CXL latency
+//!   spikes, controller stalls, poisoned lines, SRAM counter corruption,
+//!   migration copy failures and DDR pressure so robustness can be tested
+//!   reproducibly,
 //! * a kernel-time ledger ([`kernel`]) that bills PTE scans, TLB shootdowns,
 //!   hinting faults, migrations and manager work against application time,
 //!   reproducing the co-located-core interference methodology of the paper's
@@ -54,6 +58,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod controller;
+pub mod faults;
 pub mod hotlog;
 pub mod kernel;
 pub mod memory;
@@ -76,10 +81,13 @@ pub mod prelude {
     pub use crate::cache::LlcConfig;
     pub use crate::config::{Placement, SystemConfig};
     pub use crate::controller::{CxlDevice, DeviceHandle};
+    pub use crate::faults::{
+        DeviceFault, FaultClass, FaultEvent, FaultKind, FaultPlan, ScheduledFault, SimError,
+    };
     pub use crate::kernel::{CostKind, KernelCosts};
     pub use crate::memory::NodeId;
     pub use crate::perfmon::BandwidthStats;
-    pub use crate::report::RunReport;
+    pub use crate::report::{HealthReport, RunReport};
     pub use crate::system::{Access, AccessOutcome, AccessStream, MigrationDaemon, System};
     pub use crate::time::Nanos;
 }

@@ -25,6 +25,22 @@ pub enum MigrateError {
     NodeBound,
     /// The destination node has no free frames.
     DestinationFull(OutOfFrames),
+    /// The copy phase failed transiently (modelled DMA/copy-engine error);
+    /// the source page is intact and the attempt may be retried.
+    CopyFailed,
+}
+
+impl MigrateError {
+    /// Whether retrying the same migration later can plausibly succeed.
+    /// `DestinationFull` clears when demotion frees frames; `CopyFailed` is
+    /// transient by definition. The safety-check rejections are permanent
+    /// (until the caller changes the page's state).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MigrateError::DestinationFull(_) | MigrateError::CopyFailed
+        )
+    }
 }
 
 impl fmt::Display for MigrateError {
@@ -35,6 +51,7 @@ impl fmt::Display for MigrateError {
             MigrateError::Pinned => f.write_str("page is pinned and cannot be migrated"),
             MigrateError::NodeBound => f.write_str("page is explicitly bound to its node"),
             MigrateError::DestinationFull(e) => write!(f, "destination full: {e}"),
+            MigrateError::CopyFailed => f.write_str("page copy failed transiently"),
         }
     }
 }
@@ -111,6 +128,22 @@ mod tests {
         assert!(e.to_string().contains("destination full"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&MigrateError::Pinned).is_none());
+    }
+
+    #[test]
+    fn transient_errors_are_classified() {
+        assert!(MigrateError::CopyFailed.is_transient());
+        assert!(
+            MigrateError::DestinationFull(OutOfFrames { node: NodeId::Ddr }).is_transient()
+        );
+        for e in [
+            MigrateError::NotMapped,
+            MigrateError::AlreadyThere,
+            MigrateError::Pinned,
+            MigrateError::NodeBound,
+        ] {
+            assert!(!e.is_transient(), "{e} should be permanent");
+        }
     }
 
     #[test]

@@ -127,15 +127,19 @@ impl PageTable {
 
     /// Maps `vpn` to `pfn` with fresh flags.
     ///
-    /// # Panics
-    ///
-    /// Panics if `vpn` is already mapped; double-mapping is a simulator bug.
+    /// Double-mapping is a simulator bug (not a recoverable runtime
+    /// condition): it trips a `debug_assert!` in debug/test builds. Release
+    /// builds overwrite the stale entry — the old frame leaks, but the page
+    /// table stays internally consistent.
     pub fn map(&mut self, vpn: Vpn, pfn: Pfn) {
         let idx = vpn.0 as usize;
         if idx >= self.entries.len() {
             self.entries.resize(idx + 1, None);
         }
-        assert!(self.entries[idx].is_none(), "{vpn:?} already mapped");
+        debug_assert!(self.entries[idx].is_none(), "{vpn:?} already mapped");
+        if self.entries[idx].is_some() {
+            self.unmap(vpn);
+        }
         self.entries[idx] = Some(Pte {
             pfn,
             flags: PteFlags::new_mapped(),

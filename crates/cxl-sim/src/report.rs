@@ -1,5 +1,6 @@
 //! Run reports: everything a figure harness needs from one simulation run.
 
+use crate::faults::FaultClass;
 use crate::kernel::{CostKind, KernelCosts};
 use crate::memory::NodeId;
 use crate::migration::MigrationStats;
@@ -12,7 +13,7 @@ use std::fmt;
 /// percentile is within a few percent of the exact order statistic while
 /// storage stays constant no matter how many operations are recorded — the
 /// Redis YCSB runs record millions.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     /// counts[b] where b encodes (exponent, 64ths mantissa).
     counts: Vec<u64>,
@@ -107,8 +108,68 @@ impl LatencyHistogram {
     }
 }
 
+/// Fault-injection and degradation summary for one run.
+///
+/// Default (all-zero, empty) for fault-free runs; [`RunReport`]'s `Display`
+/// prints a health section only when something actually went wrong, so
+/// fault-free output is byte-identical to builds without fault injection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Faults armed by the injector during this run.
+    pub faults_injected: u64,
+    /// Per-class fault counts (non-zero classes only, display order).
+    pub fault_counts: Vec<(FaultClass, u64)>,
+    /// Poisoned lines recovered by memory-failure handling.
+    pub poison_repairs: u64,
+    /// Degradation-mode switches recorded by daemons (e.g. a tracker
+    /// failure forcing software-only identification).
+    pub degraded: Vec<String>,
+    /// Migration attempts the Promoter retried after transient failures.
+    pub promoter_retried: u64,
+    /// Migration attempts the Promoter abandoned after exhausting retries.
+    pub promoter_gave_up: u64,
+}
+
+impl HealthReport {
+    /// Whether the run saw no faults, no degradations, and no retries.
+    pub fn is_clean(&self) -> bool {
+        self == &HealthReport::default()
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "health: {} faults injected, {} poison repairs",
+            self.faults_injected, self.poison_repairs
+        )?;
+        if !self.fault_counts.is_empty() {
+            write!(f, " (")?;
+            for (i, (class, n)) in self.fault_counts.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{class}: {n}")?;
+            }
+            write!(f, ")")?;
+        }
+        if self.promoter_retried > 0 || self.promoter_gave_up > 0 {
+            write!(
+                f,
+                "; promoter retried {} / gave up {}",
+                self.promoter_retried, self.promoter_gave_up
+            )?;
+        }
+        for d in &self.degraded {
+            write!(f, "\n  degraded: {d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of driving a workload through [`crate::system::run`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Label of the daemon that ran (e.g. "anb", "damon", "m5-hpt").
     pub daemon: String,
@@ -130,6 +191,8 @@ pub struct RunReport {
     pub kernel: KernelCosts,
     /// Per-operation latency distribution (if the workload marks ops).
     pub op_latency: LatencyHistogram,
+    /// Fault-injection and degradation summary (default when fault-free).
+    pub health: HealthReport,
 }
 
 impl RunReport {
@@ -204,6 +267,9 @@ impl fmt::Display for RunReport {
                 None => write!(f, "-/{p99}")?,
             }
         }
+        if !self.health.is_clean() {
+            write!(f, "\n  {}", self.health)?;
+        }
         Ok(())
     }
 }
@@ -277,6 +343,7 @@ mod tests {
             migrations: MigrationStats::default(),
             kernel: KernelCosts::new(),
             op_latency: LatencyHistogram::new(),
+            health: HealthReport::default(),
         }
     }
 
@@ -298,6 +365,23 @@ mod tests {
         r.op_latency.record(Nanos(2000));
         let s = r.to_string();
         assert!(s.contains("op latency p50/p99"), "{s}");
+    }
+
+    #[test]
+    fn clean_health_is_invisible_in_display() {
+        let r = dummy_report(1_000_000);
+        assert!(r.health.is_clean());
+        assert!(!r.to_string().contains("health:"), "clean runs show no health section");
+        let mut faulty = dummy_report(1_000_000);
+        faulty.health.faults_injected = 3;
+        faulty.health.fault_counts = vec![(FaultClass::PoisonedLine, 2)];
+        faulty.health.degraded = vec!["hpt garbage; software-only fallback".into()];
+        faulty.health.promoter_retried = 5;
+        let s = faulty.to_string();
+        assert!(s.contains("health: 3 faults injected"), "{s}");
+        assert!(s.contains("poisoned-line: 2"), "{s}");
+        assert!(s.contains("degraded: hpt garbage"), "{s}");
+        assert!(s.contains("retried 5"), "{s}");
     }
 
     #[test]

@@ -28,13 +28,14 @@ use crate::addr::{CacheLineAddr, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
 use crate::cache::Llc;
 use crate::config::{Placement, SystemConfig};
 use crate::controller::{CxlController, CxlDevice, DeviceHandle};
+use crate::faults::{FaultEvent, FaultInjector, FaultPlan, SimError};
 use crate::kernel::{CostKind, KernelCosts};
 use crate::memory::{NodeId, OutOfFrames, TieredMemory};
 use crate::mglru::MgLru;
 use crate::migration::{BatchOutcome, MigrateError, MigrationStats};
 use crate::paging::PageTable;
 use crate::perfmon::PerfMonitor;
-use crate::report::{LatencyHistogram, RunReport};
+use crate::report::{HealthReport, LatencyHistogram, RunReport};
 use crate::time::{Clock, Nanos};
 use crate::tlb::Tlb;
 use rand::rngs::SmallRng;
@@ -126,6 +127,10 @@ pub struct AccessOutcome {
     pub line: Option<CacheLineAddr>,
     /// Whether a soft (hinting) page fault was taken.
     pub hinting_fault: bool,
+    /// Whether the read returned a poisoned line that memory-failure
+    /// handling recovered (fault injection only; the latency includes the
+    /// repair cost).
+    pub poisoned: bool,
 }
 
 /// A daemon that observes system events and migrates pages — ANB, DAMON, or
@@ -181,11 +186,22 @@ pub struct System {
     next_vpn: u64,
     placement_rng: SmallRng,
     last_tlb_flush: Nanos,
+    faults: FaultInjector,
+    degradations: Vec<String>,
+    promoter_retried: u64,
+    promoter_gave_up: u64,
 }
 
 impl System {
-    /// Builds a machine from `config`.
+    /// Builds a machine from `config` with no fault injection
+    /// ([`FaultPlan::none`] — fault-free runs are byte-identical to builds
+    /// without the fault module).
     pub fn new(config: SystemConfig) -> System {
+        System::with_fault_plan(config, &FaultPlan::none())
+    }
+
+    /// Builds a machine from `config` executing `plan`.
+    pub fn with_fault_plan(config: SystemConfig, plan: &FaultPlan) -> System {
         System {
             memory: TieredMemory::new(config.ddr.clone(), config.cxl.clone()),
             tlb: Tlb::new(config.tlb),
@@ -201,7 +217,53 @@ impl System {
             last_tlb_flush: Nanos::ZERO,
             page_table: PageTable::new(),
             clock: Clock::new(),
+            faults: FaultInjector::from_plan(plan),
+            degradations: Vec::new(),
+            promoter_retried: 0,
+            promoter_gave_up: 0,
             config,
+        }
+    }
+
+    /// Replaces the fault plan (resets the injector; already-armed windows
+    /// close, pending one-shot faults are dropped).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = FaultInjector::from_plan(plan);
+    }
+
+    /// The fault injector (read-only: counts, log, poison repairs).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Every fault armed so far, in arming order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.log()
+    }
+
+    /// Records a degradation-mode switch (e.g. a daemon falling back to
+    /// software-only identification after tracker failure). Surfaces in
+    /// [`RunReport::health`].
+    pub fn note_degradation(&mut self, msg: impl Into<String>) {
+        self.degradations.push(msg.into());
+    }
+
+    /// Degradation-mode switches recorded so far.
+    pub fn degradations(&self) -> &[String] {
+        &self.degradations
+    }
+
+    /// Accounts Promoter retry activity for [`RunReport::health`].
+    pub fn note_promoter_retries(&mut self, retried: u64, gave_up: u64) {
+        self.promoter_retried += retried;
+        self.promoter_gave_up += gave_up;
+    }
+
+    /// Arms due faults and delivers queued device faults to the controller.
+    fn service_faults(&mut self) {
+        self.faults.poll(self.clock.now());
+        while let Some(f) = self.faults.pop_device_fault() {
+            self.controller.inject(f);
         }
     }
 
@@ -265,12 +327,34 @@ impl System {
     /// # Panics
     ///
     /// Panics if `vaddr` is not mapped — workloads only touch regions they
-    /// allocated, so an unmapped access is a bug.
+    /// allocated, so an unmapped access is a bug. Use
+    /// [`System::try_access`] where unmapped addresses are recoverable.
     pub fn access(&mut self, vaddr: VirtAddr, is_write: bool) -> AccessOutcome {
+        self.try_access(vaddr, is_write)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Performs one memory access, advancing the clock by its latency.
+    ///
+    /// Injected faults are handled here: latency spikes inflate the CXL
+    /// access time, controller stalls blind the snoop devices, and poisoned
+    /// lines are recovered via the memory-failure path (billed, flagged on
+    /// the outcome) — none of them fail the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unmapped`] if `vaddr` is not mapped.
+    pub fn try_access(
+        &mut self,
+        vaddr: VirtAddr,
+        is_write: bool,
+    ) -> Result<AccessOutcome, SimError> {
         let vpn = vaddr.vpn();
         let costs = self.config.costs;
         let mut latency = Nanos::ZERO;
         let mut hinting_fault = false;
+
+        self.service_faults();
 
         // Context-switch-style full TLB flush: the passive invalidation that
         // lets accessed bits get re-set for TLB-resident hot pages (§2.1).
@@ -281,10 +365,10 @@ impl System {
             }
         }
 
-        let pte = *self
-            .page_table
-            .get(vpn)
-            .unwrap_or_else(|| panic!("access to unmapped address {vaddr:?}"));
+        let pte = match self.page_table.get(vpn) {
+            Some(p) => *p,
+            None => return Err(SimError::Unmapped(vaddr)),
+        };
 
         if !pte.flags.present() {
             // Soft (hinting) page fault: kernel re-establishes the mapping.
@@ -312,31 +396,47 @@ impl System {
 
         let res = self.llc.access(line, is_write);
         let mut dram_node = None;
+        let mut poisoned = false;
+        let now = self.clock.now();
+        let stalled = self.faults.controller_stalled(now);
         if !res.hit {
             let node = NodeId::of_pfn(pfn);
             latency += self.memory.node(node).access_latency();
             self.perfmon.record_read(node);
             if node == NodeId::Cxl {
-                self.controller.snoop(line, false, self.clock.now());
+                latency += self.faults.cxl_extra_latency(now);
+                if self.faults.take_poisoned_read() {
+                    // Uncorrectable ECC on the fill: the kernel's
+                    // memory-failure path isolates the line, re-fetches,
+                    // and resumes the load — slow but never fatal.
+                    poisoned = true;
+                    self.faults.note_poison_repaired();
+                    self.kernel.bill(CostKind::DaemonOther, costs.poison_repair);
+                    latency += costs.poison_repair;
+                }
+                if !stalled {
+                    self.controller.snoop(line, false, now);
+                }
             }
             dram_node = Some(node);
         }
         if let Some(wb) = res.writeback {
             let wb_node = NodeId::of_pfn(wb.pfn());
             self.perfmon.record_writeback(wb_node);
-            if wb_node == NodeId::Cxl {
-                self.controller.snoop(wb, true, self.clock.now());
+            if wb_node == NodeId::Cxl && !stalled {
+                self.controller.snoop(wb, true, now);
             }
         }
 
         self.clock.advance(latency);
-        AccessOutcome {
+        Ok(AccessOutcome {
             latency,
             llc_hit: res.hit,
             dram_node,
             line: if res.hit { None } else { Some(line) },
             hinting_fault,
-        }
+            poisoned,
+        })
     }
 
     /// Bills daemon kernel work; when the daemon is co-located with the
@@ -353,9 +453,11 @@ impl System {
     /// # Errors
     ///
     /// Returns a [`MigrateError`] if the page is unmapped, already on `dst`,
-    /// pinned, node-bound, or `dst` is full. No cost is billed on failure
-    /// except for the rejected-stat bump.
+    /// pinned, node-bound, `dst` is full, or the copy fails transiently
+    /// (fault injection). No cost is billed on failure except for the
+    /// rejected-stat bump.
     pub fn migrate_page(&mut self, vpn: Vpn, dst: NodeId) -> Result<(), MigrateError> {
+        self.service_faults();
         let pte = match self.page_table.get(vpn) {
             Some(p) => *p,
             None => {
@@ -375,6 +477,18 @@ impl System {
         if let Some(e) = check {
             self.migrations.rejected += 1;
             return Err(e);
+        }
+        // Injected DDR pressure: promotions find the fast tier full even
+        // though frames are nominally free (another tenant grabbed them).
+        if dst == NodeId::Ddr && self.faults.ddr_pressure(self.clock.now()) {
+            self.migrations.rejected += 1;
+            return Err(MigrateError::DestinationFull(OutOfFrames { node: dst }));
+        }
+        if self.faults.take_copy_failure() {
+            // Copy-engine/DMA error before anything was remapped: the
+            // source page is untouched, the attempt is simply rejected.
+            self.migrations.rejected += 1;
+            return Err(MigrateError::CopyFailed);
         }
         let new_pfn = match self.memory.alloc_on(dst) {
             Ok(p) => p,
@@ -588,6 +702,14 @@ where
     let faults0 = sys.hinting_faults;
     let kernel0 = sys.kernel.clone();
     let mig0 = sys.migrations;
+    let injected0: Vec<u64> = crate::faults::FaultClass::ALL
+        .iter()
+        .map(|&c| sys.faults.count_of(c))
+        .collect();
+    let poison0 = sys.faults.poison_repairs();
+    let degraded0 = sys.degradations.len();
+    let retried0 = sys.promoter_retried;
+    let gave_up0 = sys.promoter_gave_up;
 
     daemon.on_start(sys);
 
@@ -639,6 +761,24 @@ where
         },
         kernel: sys.kernel.delta_since(&kernel0),
         op_latency: op_hist,
+        health: {
+            let fault_counts: Vec<_> = crate::faults::FaultClass::ALL
+                .iter()
+                .zip(&injected0)
+                .filter_map(|(&c, &before)| {
+                    let n = sys.faults.count_of(c) - before;
+                    (n > 0).then_some((c, n))
+                })
+                .collect();
+            HealthReport {
+                faults_injected: fault_counts.iter().map(|&(_, n)| n).sum(),
+                fault_counts,
+                poison_repairs: sys.faults.poison_repairs() - poison0,
+                degraded: sys.degradations[degraded0..].to_vec(),
+                promoter_retried: sys.promoter_retried - retried0,
+                promoter_gave_up: sys.promoter_gave_up - gave_up0,
+            }
+        },
     }
 }
 

@@ -90,7 +90,7 @@ impl Tlb {
         let idx = self.set_index(vpn);
         let ways = self.ways;
         let set = &mut self.sets[idx];
-        if set.iter().any(|&v| v == vpn) {
+        if set.contains(&vpn) {
             return;
         }
         if set.len() == ways {

@@ -132,7 +132,7 @@ impl std::error::Error for DecodeTraceError {}
 /// Returns [`DecodeTraceError`] if the buffer length is not a multiple of
 /// the record size.
 pub fn decode(mut buf: Bytes) -> Result<Vec<TraceRecord>, DecodeTraceError> {
-    if buf.len() % 16 != 0 {
+    if !buf.len().is_multiple_of(16) {
         return Err(DecodeTraceError { len: buf.len() });
     }
     let mut out = Vec::with_capacity(buf.len() / 16);

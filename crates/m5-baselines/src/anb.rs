@@ -154,12 +154,12 @@ impl Anb {
                 sys.daemon_bill(CostKind::PteScan, costs.pte_scan_per_entry);
                 unmapped += 1;
                 self.pages_unmapped += 1;
-                if unmapped % self.config.shootdown_batch == 0 {
+                if unmapped.is_multiple_of(self.config.shootdown_batch) {
                     sys.daemon_bill(CostKind::TlbShootdown, costs.tlb_shootdown);
                 }
             }
         }
-        if unmapped > 0 && unmapped % self.config.shootdown_batch != 0 {
+        if unmapped > 0 && !unmapped.is_multiple_of(self.config.shootdown_batch) {
             sys.daemon_bill(CostKind::TlbShootdown, costs.tlb_shootdown);
         }
     }

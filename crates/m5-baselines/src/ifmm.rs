@@ -117,7 +117,7 @@ pub fn compare(trace: &[TraceRecord], ddr_pages: usize) -> IfmmComparison {
         *page_counts.entry(r.line.pfn()).or_default() += 1;
     }
     let mut pages: Vec<(Pfn, u64)> = page_counts.into_iter().collect();
-    pages.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    pages.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
 
     let paging_hits: u64 = pages.iter().take(ddr_pages).map(|&(_, c)| c).sum();
     let total: u64 = pages.iter().map(|&(_, c)| c).sum();
@@ -135,9 +135,8 @@ pub fn compare(trace: &[TraceRecord], ddr_pages: usize) -> IfmmComparison {
     let mut hybrid_ifmm = FlatMemoryMode::new((ddr_pages - half).max(1) * WORDS_PER_PAGE);
     let mut hybrid_hits = 0u64;
     for r in trace {
-        if hybrid_pages.contains(&r.line.pfn()) {
-            hybrid_hits += 1;
-        } else if hybrid_ifmm.access(r.line) {
+        // Short-circuit keeps pinned-page hits out of the word cache.
+        if hybrid_pages.contains(&r.line.pfn()) || hybrid_ifmm.access(r.line) {
             hybrid_hits += 1;
         }
     }

@@ -231,7 +231,7 @@ impl MigrationDaemon for PebsSampler {
         }
         // Migration epoch: promote the hottest sampled slow-tier pages.
         let mut hot: Vec<(Pfn, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
-        hot.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        hot.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
         let mut batch = Vec::with_capacity(self.config.promote_batch);
         for (pfn, _) in hot.into_iter().take(self.config.promote_batch * 2) {
             if let Some(vpn) = sys.page_table().vpn_of(pfn) {

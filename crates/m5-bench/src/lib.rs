@@ -40,10 +40,19 @@ pub const DEFAULT_ACCESSES: u64 = 24_000_000;
 /// whole footprint, DDR capped at half of it (§6: "roughly 50 % of the
 /// pages can be migrated"), and allocates the workload region on CXL.
 pub fn standard_system(spec: &WorkloadSpec) -> (System, Region) {
+    standard_system_with_faults(spec, &cxl_sim::faults::FaultPlan::none())
+}
+
+/// [`standard_system`] executing a fault plan — the chaos-harness entry
+/// point. `FaultPlan::none()` reproduces the fault-free machine exactly.
+pub fn standard_system_with_faults(
+    spec: &WorkloadSpec,
+    plan: &cxl_sim::faults::FaultPlan,
+) -> (System, Region) {
     let config = SystemConfig::scaled_default()
         .with_cxl_frames(spec.footprint_pages + 1024)
         .with_ddr_frames(spec.footprint_pages / 2);
-    let mut sys = System::new(config);
+    let mut sys = System::with_fault_plan(config, plan);
     let region = sys
         .alloc_region(spec.footprint_pages, Placement::AllOnCxl)
         .expect("CXL sized to fit the footprint");

@@ -8,6 +8,7 @@
 use crate::tracker_impl::{TrackerAlgo, TrackerImpl};
 use cxl_sim::addr::{CacheLineAddr, Pfn};
 use cxl_sim::controller::CxlDevice;
+use cxl_sim::faults::DeviceFault;
 use cxl_sim::time::Nanos;
 use m5_trackers::topk::TopKAlgorithm;
 use std::any::Any;
@@ -46,6 +47,10 @@ pub struct HotPageTracker {
     reset_on_query: bool,
     observed: u64,
     queries: u64,
+    k: usize,
+    dead: bool,
+    saturated: bool,
+    flip_mask: u64,
 }
 
 impl HotPageTracker {
@@ -56,7 +61,23 @@ impl HotPageTracker {
             reset_on_query: config.reset_on_query,
             observed: 0,
             queries: 0,
+            k: config.k,
+            dead: false,
+            saturated: false,
+            flip_mask: 0,
         }
+    }
+
+    /// Whether an injected [`DeviceFault::Fail`] killed this tracker.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// What a wedged device's MMIO window reads back: all-ones entries. The
+    /// manager's health check recognises these as garbage and falls back to
+    /// software-only identification.
+    fn garbage(&self) -> Vec<(Pfn, u64)> {
+        (0..self.k).map(|i| (Pfn(u64::MAX - i as u64), u64::MAX)).collect()
     }
 
     /// Accesses observed since the last query.
@@ -71,10 +92,13 @@ impl HotPageTracker {
 
     /// The current top-K hot pages without resetting (debug/tests).
     pub fn peek(&self) -> Vec<(Pfn, u64)> {
+        if self.dead {
+            return self.garbage();
+        }
         self.tracker
             .top_k()
             .into_iter()
-            .map(|(a, c)| (Pfn(a), c))
+            .map(|(a, c)| (Pfn(a), if self.saturated { u64::MAX } else { c }))
             .collect()
     }
 
@@ -83,12 +107,19 @@ impl HotPageTracker {
     pub fn query(&mut self) -> Vec<(Pfn, u64)> {
         self.queries += 1;
         self.observed = 0;
+        if self.dead {
+            return self.garbage();
+        }
         let top = if self.reset_on_query {
             self.tracker.drain_top_k()
         } else {
             self.tracker.top_k()
         };
-        top.into_iter().map(|(a, c)| (Pfn(a), c)).collect()
+        let saturated = self.saturated;
+        self.saturated = false;
+        top.into_iter()
+            .map(|(a, c)| (Pfn(a), if saturated { u64::MAX } else { c }))
+            .collect()
     }
 
     /// The underlying algorithm's name.
@@ -103,8 +134,21 @@ impl CxlDevice for HotPageTracker {
     }
 
     fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        if self.dead {
+            return;
+        }
         self.observed += 1;
-        self.tracker.record(line.pfn().0);
+        self.tracker.record(line.pfn().0 ^ self.flip_mask);
+    }
+
+    fn on_fault(&mut self, fault: DeviceFault) {
+        match fault {
+            // Address-path corruption: every subsequent record lands on a
+            // wrong key.
+            DeviceFault::SramBitFlip { slot: _, bit } => self.flip_mask ^= 1 << (bit % 48),
+            DeviceFault::SramSaturate => self.saturated = true,
+            DeviceFault::Fail => self.dead = true,
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -8,6 +8,7 @@
 use crate::tracker_impl::{TrackerAlgo, TrackerImpl};
 use cxl_sim::addr::CacheLineAddr;
 use cxl_sim::controller::CxlDevice;
+use cxl_sim::faults::DeviceFault;
 use cxl_sim::time::Nanos;
 use m5_trackers::topk::TopKAlgorithm;
 use std::any::Any;
@@ -46,6 +47,10 @@ pub struct HotWordTracker {
     reset_on_query: bool,
     observed: u64,
     queries: u64,
+    k: usize,
+    dead: bool,
+    saturated: bool,
+    flip_mask: u64,
 }
 
 impl HotWordTracker {
@@ -56,7 +61,24 @@ impl HotWordTracker {
             reset_on_query: config.reset_on_query,
             observed: 0,
             queries: 0,
+            k: config.k,
+            dead: false,
+            saturated: false,
+            flip_mask: 0,
         }
+    }
+
+    /// Whether an injected [`DeviceFault::Fail`] killed this tracker.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// All-ones MMIO readback of a wedged device (see
+    /// [`crate::hpt::HotPageTracker`]).
+    fn garbage(&self) -> Vec<(CacheLineAddr, u64)> {
+        (0..self.k)
+            .map(|i| (CacheLineAddr(u64::MAX - i as u64), u64::MAX))
+            .collect()
     }
 
     /// Accesses observed since the last query.
@@ -71,10 +93,13 @@ impl HotWordTracker {
 
     /// The current top-K hot words without resetting.
     pub fn peek(&self) -> Vec<(CacheLineAddr, u64)> {
+        if self.dead {
+            return self.garbage();
+        }
         self.tracker
             .top_k()
             .into_iter()
-            .map(|(a, c)| (CacheLineAddr(a), c))
+            .map(|(a, c)| (CacheLineAddr(a), if self.saturated { u64::MAX } else { c }))
             .collect()
     }
 
@@ -82,12 +107,19 @@ impl HotWordTracker {
     pub fn query(&mut self) -> Vec<(CacheLineAddr, u64)> {
         self.queries += 1;
         self.observed = 0;
+        if self.dead {
+            return self.garbage();
+        }
         let top = if self.reset_on_query {
             self.tracker.drain_top_k()
         } else {
             self.tracker.top_k()
         };
-        top.into_iter().map(|(a, c)| (CacheLineAddr(a), c)).collect()
+        let saturated = self.saturated;
+        self.saturated = false;
+        top.into_iter()
+            .map(|(a, c)| (CacheLineAddr(a), if saturated { u64::MAX } else { c }))
+            .collect()
     }
 
     /// The underlying algorithm's name.
@@ -102,8 +134,19 @@ impl CxlDevice for HotWordTracker {
     }
 
     fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        if self.dead {
+            return;
+        }
         self.observed += 1;
-        self.tracker.record(line.0);
+        self.tracker.record(line.0 ^ self.flip_mask);
+    }
+
+    fn on_fault(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::SramBitFlip { slot: _, bit } => self.flip_mask ^= 1 << (bit % 48),
+            DeviceFault::SramSaturate => self.saturated = true,
+            DeviceFault::Fail => self.dead = true,
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

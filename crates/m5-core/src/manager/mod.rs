@@ -16,15 +16,61 @@ pub mod promoter;
 
 use crate::hpt::{HotPageTracker, HptConfig};
 use crate::hwt::{HotWordTracker, HwtConfig};
+use cxl_sim::addr::{CacheLineAddr, Pfn, Vpn};
 use cxl_sim::controller::DeviceHandle;
 use cxl_sim::hotlog::HotPageLog;
 use cxl_sim::kernel::CostKind;
+use cxl_sim::memory::{NodeId, CXL_BASE_PFN};
 use cxl_sim::system::{MigrationDaemon, System};
 use cxl_sim::time::Nanos;
 use elector::{Elector, ElectorConfig};
 use monitor::Monitor;
 use nominator::{Nominator, NominatorMode};
 use promoter::{Promoter, PromoterConfig, PromoterStats};
+use std::fmt;
+
+/// Consecutive garbage query results a tracker may return before the
+/// manager declares it failed and falls back to software identification.
+const TRACKER_STRIKE_LIMIT: u8 = 2;
+
+/// A rejected [`M5Config`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The nominator mode needs an HPT but `hpt` is `None`.
+    MissingHpt(NominatorMode),
+    /// The nominator mode needs an HWT but `hwt` is `None`.
+    MissingHwt(NominatorMode),
+    /// `promote_batch` is zero: the manager would never nominate anything.
+    ZeroPromoteBatch,
+    /// `migration_time_budget` is not a finite fraction in `(0, 1]`.
+    BadMigrationBudget(f64),
+    /// `hot_log_cap` is zero: every identified page would be dropped.
+    ZeroHotLogCap,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingHpt(mode) => {
+                write!(f, "nominator mode {mode:?} requires an HPT")
+            }
+            ConfigError::MissingHwt(mode) => {
+                write!(f, "nominator mode {mode:?} requires an HWT")
+            }
+            ConfigError::ZeroPromoteBatch => write!(f, "promote_batch must be nonzero"),
+            ConfigError::BadMigrationBudget(b) => {
+                write!(f, "migration_time_budget {b} must be a finite fraction in (0, 1]")
+            }
+            ConfigError::ZeroHotLogCap => write!(f, "hot_log_cap must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One epoch's sanitized tracker output: hot pages from the HPT and hot
+/// words from the HWT (either may be empty).
+type TrackerOutput = (Vec<(Pfn, u64)>, Vec<(CacheLineAddr, u64)>);
 
 /// Full M5 configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,6 +117,31 @@ impl Default for M5Config {
     }
 }
 
+impl M5Config {
+    /// Checks internal consistency, returning the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mode.needs_hpt() && self.hpt.is_none() {
+            return Err(ConfigError::MissingHpt(self.mode));
+        }
+        if self.mode.needs_hwt() && self.hwt.is_none() {
+            return Err(ConfigError::MissingHwt(self.mode));
+        }
+        if self.promote_batch == 0 {
+            return Err(ConfigError::ZeroPromoteBatch);
+        }
+        if !self.migration_time_budget.is_finite()
+            || self.migration_time_budget <= 0.0
+            || self.migration_time_budget > 1.0
+        {
+            return Err(ConfigError::BadMigrationBudget(self.migration_time_budget));
+        }
+        if self.hot_log_cap == 0 {
+            return Err(ConfigError::ZeroHotLogCap);
+        }
+        Ok(())
+    }
+}
+
 /// The composed M5-manager daemon.
 #[derive(Debug)]
 pub struct M5Manager {
@@ -85,26 +156,29 @@ pub struct M5Manager {
     log: HotPageLog,
     epochs: u64,
     migrate_epochs: u64,
+    name: String,
+    fallback: bool,
+    hpt_strikes: u8,
+    hwt_strikes: u8,
 }
 
 impl M5Manager {
     /// Builds a manager from `config`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the nominator mode requires a tracker the config omits.
-    pub fn new(config: M5Config) -> M5Manager {
-        assert!(
-            !config.mode.needs_hpt() || config.hpt.is_some(),
-            "nominator mode {:?} requires an HPT",
-            config.mode
-        );
-        assert!(
-            !config.mode.needs_hwt() || config.hwt.is_some(),
-            "nominator mode {:?} requires an HWT",
-            config.mode
-        );
-        M5Manager {
+    /// Returns [`ConfigError`] if `config` fails [`M5Config::validate`].
+    pub fn try_new(config: M5Config) -> Result<M5Manager, ConfigError> {
+        config.validate()?;
+        let name = match (config.mode, config.record_only) {
+            (NominatorMode::HptOnly, false) => "m5-hpt",
+            (NominatorMode::HptDriven, false) => "m5-hpt+hwt",
+            (NominatorMode::HwtDriven, false) => "m5-hwt",
+            (NominatorMode::HptOnly, true) => "m5-hpt-record",
+            (NominatorMode::HptDriven, true) => "m5-hpt+hwt-record",
+            (NominatorMode::HwtDriven, true) => "m5-hwt-record",
+        };
+        Ok(M5Manager {
             monitor: Monitor::new(),
             nominator: Nominator::new(config.mode),
             elector: Elector::new(config.elector),
@@ -115,8 +189,28 @@ impl M5Manager {
             log: HotPageLog::new(config.hot_log_cap),
             epochs: 0,
             migrate_epochs: 0,
+            name: name.to_string(),
+            fallback: false,
+            hpt_strikes: 0,
+            hwt_strikes: 0,
             config,
-        }
+        })
+    }
+
+    /// Builds a manager from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`M5Manager::try_new`]
+    /// to handle the error instead.
+    pub fn new(config: M5Config) -> M5Manager {
+        M5Manager::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Whether tracker failure pushed the manager into software-only
+    /// identification.
+    pub fn in_software_fallback(&self) -> bool {
+        self.fallback
     }
 
     /// The identified-hot-page log (§4.1's list).
@@ -139,12 +233,13 @@ impl M5Manager {
         self.migrate_epochs
     }
 
-    fn query_trackers(
-        &mut self,
-        sys: &mut System,
-    ) -> (Vec<(cxl_sim::addr::Pfn, u64)>, Vec<(cxl_sim::addr::CacheLineAddr, u64)>) {
+    fn query_trackers(&mut self, sys: &mut System) -> TrackerOutput {
         let query_cost = sys.config().costs.tracker_query;
-        let hot_pages = match self.hpt {
+        let cxl_frames = sys.config().cxl.capacity_frames;
+        let pfn_ok =
+            |pfn: Pfn| pfn.0 >= CXL_BASE_PFN && pfn.0 < CXL_BASE_PFN + cxl_frames;
+
+        let mut hot_pages = match self.hpt {
             Some(h) => {
                 sys.daemon_bill(CostKind::ManagerQuery, query_cost);
                 sys.device_mut::<HotPageTracker>(h)
@@ -153,7 +248,22 @@ impl M5Manager {
             }
             None => Vec::new(),
         };
-        let hot_words = match self.hwt {
+        // Health check: a healthy HPT only ever reports frames inside the
+        // CXL node it snoops, with counts far below saturation. Anything
+        // else is a wedged or corrupted device; discard the batch and
+        // strike the tracker.
+        if hot_pages
+            .iter()
+            .any(|&(pfn, c)| !pfn_ok(pfn) || c == u64::MAX)
+        {
+            hot_pages.clear();
+            self.hpt_strikes = self.hpt_strikes.saturating_add(1);
+            if self.hpt_strikes >= TRACKER_STRIKE_LIMIT {
+                self.engage_fallback(sys, "hpt");
+            }
+        }
+
+        let mut hot_words = match self.hwt {
             Some(h) => {
                 sys.daemon_bill(CostKind::ManagerQuery, query_cost);
                 sys.device_mut::<HotWordTracker>(h)
@@ -162,20 +272,65 @@ impl M5Manager {
             }
             None => Vec::new(),
         };
+        if hot_words
+            .iter()
+            .any(|&(line, c)| !pfn_ok(line.pfn()) || c == u64::MAX)
+        {
+            hot_words.clear();
+            self.hwt_strikes = self.hwt_strikes.saturating_add(1);
+            if self.hwt_strikes >= TRACKER_STRIKE_LIMIT {
+                self.engage_fallback(sys, "hwt");
+            }
+        }
         (hot_pages, hot_words)
+    }
+
+    /// Switches to software-only hot-page identification after a tracker
+    /// strikes out. The near-memory devices stay attached but are no longer
+    /// queried; candidates come from PTE accessed-bit scans instead, and
+    /// the mode change is recorded in the run report via the daemon name
+    /// and the system's degradation log.
+    fn engage_fallback(&mut self, sys: &mut System, which: &str) {
+        if self.fallback {
+            return;
+        }
+        self.fallback = true;
+        sys.note_degradation(format!(
+            "{}: {which} returned garbage {TRACKER_STRIKE_LIMIT}x; \
+             falling back to software-only identification",
+            self.name
+        ));
+        self.name.push_str("+sw-fallback");
+        // Word-granular signals are gone; rank pages like HptOnly.
+        self.nominator = Nominator::new(NominatorMode::HptOnly);
+    }
+
+    /// Software-only identification: scan the accessed bits of every PTE
+    /// resident on CXL (billed like any other PTE scan). Granularity and
+    /// cost match CPU-driven baselines — exactly the degradation the paper
+    /// argues against, but correctness survives tracker loss.
+    fn software_scan(&mut self, sys: &mut System) -> Vec<(Pfn, u64)> {
+        let scanned: Vec<(Vpn, Pfn)> = sys
+            .page_table()
+            .pages_on(NodeId::Cxl)
+            .map(|(vpn, pte)| (vpn, pte.pfn))
+            .collect();
+        let per_entry = sys.config().costs.pte_scan_per_entry;
+        sys.daemon_bill(
+            CostKind::PteScan,
+            Nanos(per_entry.0.saturating_mul(scanned.len() as u64)),
+        );
+        scanned
+            .into_iter()
+            .filter(|&(vpn, _)| sys.page_table_mut().test_and_clear_accessed(vpn))
+            .map(|(_, pfn)| (pfn, 1))
+            .collect()
     }
 }
 
 impl MigrationDaemon for M5Manager {
     fn name(&self) -> &str {
-        match (self.config.mode, self.config.record_only) {
-            (NominatorMode::HptOnly, false) => "m5-hpt",
-            (NominatorMode::HptDriven, false) => "m5-hpt+hwt",
-            (NominatorMode::HwtDriven, false) => "m5-hwt",
-            (NominatorMode::HptOnly, true) => "m5-hpt-record",
-            (NominatorMode::HptDriven, true) => "m5-hpt+hwt-record",
-            (NominatorMode::HwtDriven, true) => "m5-hwt-record",
-        }
+        &self.name
     }
 
     fn on_start(&mut self, sys: &mut System) {
@@ -198,7 +353,17 @@ impl MigrationDaemon for M5Manager {
         let decision = self.elector.decide(&stats);
         if decision.migrate {
             self.migrate_epochs += 1;
-            let (hot_pages, hot_words) = self.query_trackers(sys);
+            let (hot_pages, hot_words) = if self.fallback {
+                (Vec::new(), Vec::new())
+            } else {
+                self.query_trackers(sys)
+            };
+            // query_trackers may have just engaged the fallback.
+            let hot_pages = if self.fallback {
+                self.software_scan(sys)
+            } else {
+                hot_pages
+            };
             self.nominator.refresh(&hot_pages, &hot_words);
             // Oversample, then keep only candidates still resident on CXL:
             // tracker output is one epoch behind the page table, so some
@@ -209,7 +374,7 @@ impl MigrationDaemon for M5Manager {
                     .page_table()
                     .vpn_of(e.pfn)
                     .and_then(|vpn| sys.page_table().get(vpn))
-                    .is_some_and(|pte| pte.node() == cxl_sim::memory::NodeId::Cxl);
+                    .is_some_and(|pte| pte.node() == NodeId::Cxl);
                 if live_on_cxl {
                     nominated.push(e);
                     if nominated.len() >= self.config.promote_batch {
@@ -372,6 +537,37 @@ mod tests {
         assert!(
             spent <= 0.05 * elapsed * 2.0,
             "migration {spent}ns exceeds 5% of {elapsed}ns"
+        );
+    }
+
+    #[test]
+    fn misconfigured_mode_is_a_typed_error() {
+        let bad = M5Config {
+            hwt: None,
+            mode: NominatorMode::HptDriven,
+            ..M5Config::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::MissingHwt(NominatorMode::HptDriven))
+        );
+        assert!(M5Manager::try_new(bad).is_err());
+        assert!(M5Config::default().validate().is_ok());
+        assert_eq!(
+            M5Config {
+                promote_batch: 0,
+                ..M5Config::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroPromoteBatch)
+        );
+        assert_eq!(
+            M5Config {
+                migration_time_budget: -1.0,
+                ..M5Config::default()
+            }
+            .validate(),
+            Err(ConfigError::BadMigrationBudget(-1.0))
         );
     }
 

@@ -11,6 +11,7 @@ use cxl_sim::addr::Vpn;
 use cxl_sim::kernel::CostKind;
 use cxl_sim::migration::{BatchOutcome, MigrateError};
 use cxl_sim::system::System;
+use cxl_sim::time::Nanos;
 
 /// Promoter tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,11 +19,20 @@ pub struct PromoterConfig {
     /// Cold pages demoted per capacity miss (the paper demotes the same
     /// number of pages as promoted once DDR fills, §7.2).
     pub demote_batch: usize,
+    /// Retry rounds for transiently rejected pages (destination full,
+    /// failed copy) before giving up on them for this epoch.
+    pub max_retries: u32,
+    /// Daemon-side wait before the first retry round; doubles each round.
+    pub retry_backoff: Nanos,
 }
 
 impl Default for PromoterConfig {
     fn default() -> PromoterConfig {
-        PromoterConfig { demote_batch: 32 }
+        PromoterConfig {
+            demote_batch: 32,
+            max_retries: 2,
+            retry_backoff: Nanos(10_000),
+        }
     }
 }
 
@@ -38,6 +48,10 @@ pub struct PromoterStats {
     pub rejected_unsafe: u64,
     /// Candidates rejected for capacity or residency reasons.
     pub rejected_other: u64,
+    /// Transiently rejected pages re-submitted to `migrate_pages()`.
+    pub retried: u64,
+    /// Pages still transiently rejected after the last retry round.
+    pub gave_up: u64,
 }
 
 /// The Promoter component.
@@ -78,8 +92,39 @@ impl Promoter {
             }
         }
 
-        let out = sys.promote_with_demotion(&vpns, self.config.demote_batch);
+        let mut out = sys.promote_with_demotion(&vpns, self.config.demote_batch);
+
+        // Bounded retry with exponential backoff: transient rejections
+        // (destination full under pressure, a flaky page copy) are worth a
+        // second attempt this epoch; permanent ones (pinned, bound) are not.
+        let mut backoff = self.config.retry_backoff;
+        let mut retried = 0u64;
+        for _ in 0..self.config.max_retries {
+            let (transient, fatal): (Vec<_>, Vec<_>) = out
+                .rejected
+                .into_iter()
+                .partition(|(_, e)| e.is_transient());
+            out.rejected = fatal;
+            if transient.is_empty() {
+                break;
+            }
+            let again: Vec<Vpn> = transient.iter().map(|&(v, _)| v).collect();
+            retried += again.len() as u64;
+            sys.daemon_bill(CostKind::DaemonOther, backoff);
+            backoff = Nanos(backoff.0.saturating_mul(2));
+            let retry = sys.promote_with_demotion(&again, self.config.demote_batch);
+            out.migrated.extend(retry.migrated);
+            out.rejected.extend(retry.rejected);
+        }
+        let gave_up = out
+            .rejected
+            .iter()
+            .filter(|(_, e)| e.is_transient())
+            .count() as u64;
+
         self.stats.promoted += out.migrated.len() as u64;
+        self.stats.retried += retried;
+        self.stats.gave_up += gave_up;
         for (_, err) in &out.rejected {
             match err {
                 MigrateError::Pinned | MigrateError::NodeBound => {
@@ -87,6 +132,9 @@ impl Promoter {
                 }
                 _ => self.stats.rejected_other += 1,
             }
+        }
+        if retried > 0 || gave_up > 0 {
+            sys.note_promoter_retries(retried, gave_up);
         }
         out
     }
@@ -148,6 +196,26 @@ mod tests {
         let out = p.promote(&mut sys, &[entry(Pfn(cxl_sim::memory::CXL_BASE_PFN + 99))]);
         assert!(out.migrated.is_empty());
         assert_eq!(p.stats().stale, 1);
+    }
+
+    #[test]
+    fn transient_rejections_are_retried_then_surrendered() {
+        // DDR holds one pinned page, so demotion can never make room:
+        // every promotion attempt fails with DestinationFull (transient).
+        let mut sys = System::new(SystemConfig::small().with_ddr_frames(1));
+        let d = sys.alloc_region(1, Placement::AllOnDdr).unwrap();
+        sys.page_table_mut().set_pinned(d.base.vpn(), true);
+        let r = sys.alloc_region(2, Placement::AllOnCxl).unwrap();
+        let pfns: Vec<Pfn> = r
+            .vpns()
+            .map(|v| sys.page_table().get(v).unwrap().pfn)
+            .collect();
+        let mut p = Promoter::new(PromoterConfig::default());
+        let out = p.promote(&mut sys, &[entry(pfns[0]), entry(pfns[1])]);
+        assert!(out.migrated.is_empty());
+        assert!(p.stats().retried > 0, "transient rejects were retried");
+        assert_eq!(p.stats().gave_up, 2, "both pages surrendered in the end");
+        assert_eq!(p.stats().promoted, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::count_table::AccessCountTable;
 use crate::mmio::MmioWindow;
 use cxl_sim::addr::{CacheLineAddr, Pfn};
 use cxl_sim::controller::CxlDevice;
+use cxl_sim::faults::DeviceFault;
 use cxl_sim::memory::CXL_BASE_PFN;
 use cxl_sim::system::System;
 use cxl_sim::time::Nanos;
@@ -49,6 +50,7 @@ pub struct Pac {
     counted: u64,
     out_of_range: u64,
     mmio: MmioWindow,
+    dead: bool,
 }
 
 impl Pac {
@@ -71,8 +73,14 @@ impl Pac {
             out_of_range: 0,
             // Each page's counter is L bits; model the SRAM in whole bytes.
             mmio: MmioWindow::new(config.pages * config.counter_bits.div_ceil(8) as u64),
+            dead: false,
             config,
         }
+    }
+
+    /// Whether an injected [`DeviceFault::Fail`] killed this PAC.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// The configuration.
@@ -162,17 +170,31 @@ impl CxlDevice for Pac {
     }
 
     fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        if self.dead {
+            return;
+        }
         let pfn = line.pfn();
         match self.index_of(pfn) {
             Some(idx) => {
                 self.counted += 1;
                 self.sram[idx] += 1;
-                if self.sram[idx] == self.max {
-                    self.table.spill(pfn.0, self.max);
+                if self.sram[idx] >= self.max {
+                    self.table.spill(pfn.0, self.sram[idx]);
                     self.sram[idx] = 0;
                 }
             }
             None => self.out_of_range += 1,
+        }
+    }
+
+    fn on_fault(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::SramBitFlip { slot, bit } => {
+                let idx = (slot % self.sram.len() as u64) as usize;
+                self.sram[idx] ^= 1 << (bit % self.config.counter_bits);
+            }
+            DeviceFault::SramSaturate => self.sram.fill(self.max),
+            DeviceFault::Fail => self.dead = true,
         }
     }
 
@@ -275,6 +297,29 @@ mod tests {
         let (switches, reads) = big.simulate_full_readout();
         assert_eq!(reads, 2 * 1024 * 1024);
         assert_eq!(switches, 3, "4 MiB through a 1 MiB window");
+    }
+
+    #[test]
+    fn injected_faults_corrupt_but_never_crash() {
+        let mut pac = small_pac(4);
+        touch(&mut pac, 1, 3);
+        // A bit flip perturbs one counter but keeps the device running.
+        pac.on_fault(DeviceFault::SramBitFlip { slot: 1, bit: 1 });
+        touch(&mut pac, 1, 1);
+        assert!(pac.count(Pfn(CXL_BASE_PFN + 1)) != 4, "counter corrupted");
+        // Saturation pegs every counter; candidates stay in range.
+        pac.on_fault(DeviceFault::SramSaturate);
+        touch(&mut pac, 2, 1);
+        for (pfn, _) in pac.hottest(100) {
+            let rel = pfn.0 - CXL_BASE_PFN;
+            assert!(rel < 16, "candidate {pfn:?} outside monitored range");
+        }
+        // A dead PAC stops counting silently.
+        pac.on_fault(DeviceFault::Fail);
+        assert!(pac.is_dead());
+        let before = pac.total_counted();
+        touch(&mut pac, 3, 10);
+        assert_eq!(pac.total_counted(), before);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::count_table::AccessCountTable;
 use cxl_sim::addr::{CacheLineAddr, Pfn, WORDS_PER_PAGE};
 use cxl_sim::controller::CxlDevice;
+use cxl_sim::faults::DeviceFault;
 use cxl_sim::memory::CXL_BASE_PFN;
 use cxl_sim::system::System;
 use cxl_sim::time::Nanos;
@@ -59,6 +60,7 @@ pub struct Wac {
     table: AccessCountTable,
     counted: u64,
     out_of_window: u64,
+    dead: bool,
 }
 
 impl Wac {
@@ -80,8 +82,14 @@ impl Wac {
             table: AccessCountTable::new(),
             counted: 0,
             out_of_window: 0,
+            dead: false,
             config,
         }
+    }
+
+    /// Whether an injected [`DeviceFault::Fail`] killed this WAC.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// The configuration.
@@ -185,16 +193,30 @@ impl CxlDevice for Wac {
     }
 
     fn on_access(&mut self, line: CacheLineAddr, _is_write: bool, _now: Nanos) {
+        if self.dead {
+            return;
+        }
         match self.index_of(line) {
             Some(idx) => {
                 self.counted += 1;
                 self.sram[idx] += 1;
-                if self.sram[idx] as u64 == self.max {
-                    self.table.spill(line.0, self.max);
+                if self.sram[idx] as u64 >= self.max {
+                    self.table.spill(line.0, self.sram[idx] as u64);
                     self.sram[idx] = 0;
                 }
             }
             None => self.out_of_window += 1,
+        }
+    }
+
+    fn on_fault(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::SramBitFlip { slot, bit } => {
+                let idx = (slot % self.sram.len() as u64) as usize;
+                self.sram[idx] ^= 1 << (bit % self.config.counter_bits);
+            }
+            DeviceFault::SramSaturate => self.sram.fill(self.max as u8),
+            DeviceFault::Fail => self.dead = true,
         }
     }
 
@@ -234,6 +256,28 @@ mod tests {
         assert_eq!(wac.word_count(line), 1000);
         assert_eq!(wac.total_counted(), 1000);
         assert!(wac.table.spill_writes() >= 1000 / 15);
+    }
+
+    #[test]
+    fn injected_faults_corrupt_but_never_crash() {
+        let mut wac = wac_with_words(256, 4);
+        let line = base();
+        for _ in 0..3 {
+            wac.on_access(line, false, Nanos::ZERO);
+        }
+        wac.on_fault(DeviceFault::SramBitFlip { slot: 0, bit: 0 });
+        assert_ne!(wac.word_count(line), 3, "counter corrupted");
+        wac.on_fault(DeviceFault::SramSaturate);
+        wac.on_access(line, false, Nanos::ZERO);
+        // Saturated counters still report candidates inside the window only.
+        for (l, _) in wac.hottest(1000) {
+            assert!(l.0 - base().0 < 256, "candidate outside window");
+        }
+        wac.on_fault(DeviceFault::Fail);
+        assert!(wac.is_dead());
+        let before = wac.total_counted();
+        wac.on_access(line, false, Nanos::ZERO);
+        assert_eq!(wac.total_counted(), before);
     }
 
     #[test]

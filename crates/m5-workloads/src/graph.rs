@@ -216,11 +216,12 @@ pub fn pagerank(
         let mut dangling = 0u64;
         for v in 0..n as u32 {
             let d = g.degree(v) as u64;
-            if d == 0 {
-                dangling += rank[v as usize];
-                contrib[v as usize] = 0;
-            } else {
-                contrib[v as usize] = rank[v as usize] / d;
+            match rank[v as usize].checked_div(d) {
+                Some(c) => contrib[v as usize] = c,
+                None => {
+                    dangling += rank[v as usize];
+                    contrib[v as usize] = 0;
+                }
             }
         }
         let dangling_share = dangling / n as u64;
@@ -428,7 +429,7 @@ pub fn betweenness(
                     rec.read(l.prop_a(u));
                     rec.read(l.prop_b(u));
                     let share = (sigma[v as usize] << 20) / sigma[u as usize].max(1);
-                    delta[v as usize] += share * ((1 << 20) + delta[u as usize]) >> 20;
+                    delta[v as usize] += (share * ((1 << 20) + delta[u as usize])) >> 20;
                     rec.write(l.prop_b(v));
                 }
             }

@@ -142,7 +142,7 @@ pub fn generate(config: &KvConfig, base: VirtAddr, target_accesses: u64) -> Repl
         let this_obj_words = 1 + crate::dist::hash_slot(page, slot, config.seed ^ 0x0b1) % config.obj_words;
         // Deterministic scattered word offset for this slot within the page.
         let word0 =
-            (crate::dist::hash_slot(page, slot, config.seed) % (64 - config.obj_words + 1)) as u64;
+            crate::dist::hash_slot(page, slot, config.seed) % (64 - config.obj_words + 1);
         for w in 0..this_obj_words {
             let rel = page * PAGE_SIZE as u64 + (word0 + w) * WORD_SIZE as u64;
             if is_read {

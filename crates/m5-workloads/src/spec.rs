@@ -162,7 +162,7 @@ pub fn roms(pages: u64, base: VirtAddr, target_accesses: u64, seed: u64) -> Repl
         for page in 0..pages {
             // Baseline pass over every plane; a quarter of the baseline
             // planes are strided (the Figure 4 partial-page outlier).
-            let stride = if weight_of(page) == 1 && stride_scatter.map(page) % 4 == 0 {
+            let stride = if weight_of(page) == 1 && stride_scatter.map(page).is_multiple_of(4) {
                 4
             } else {
                 1

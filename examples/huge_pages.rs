@@ -57,7 +57,7 @@ fn main() {
     );
     // "Consult the OS": pretend only even-numbered huge frames are backed
     // by real 2 MiB mappings.
-    let is_huge_backed = |h: HugePfn| h.0 % 2 == 0;
+    let is_huge_backed = |h: HugePfn| h.0.is_multiple_of(2);
     println!("top huge-page candidates (OS-confirmed only):");
     println!(
         "{:>14} | {:>10} | {:>9} | verdict",

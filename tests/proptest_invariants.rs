@@ -2,7 +2,10 @@
 //! interleavings of accesses, migrations, and daemon actions.
 
 use m5::profilers::pac::{Pac, PacConfig};
+use m5::profilers::wac::{Wac, WacConfig};
 use m5::sim::addr::{Pfn, VirtAddr, Vpn, PAGE_SIZE};
+use m5::sim::controller::CxlDevice;
+use m5::sim::faults::{DeviceFault, FaultPlan};
 use m5::sim::memory::{NodeId, CXL_BASE_PFN};
 use m5::sim::prelude::*;
 use m5::trackers::sketch::CmSketch;
@@ -182,6 +185,100 @@ proptest! {
                 u64::MAX,
             );
             (report.total_time, report.llc_misses, report.reads_on(NodeId::Cxl))
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+
+    /// Retrying a promotion batch — as the Promoter does after transient
+    /// failures — is idempotent: pages promoted once are rejected as
+    /// already-resident on re-submission, never promoted twice.
+    #[test]
+    fn batch_retry_is_idempotent(pages in prop::collection::vec(0..PAGES, 1..40)) {
+        // DDR is large enough that no demotion churn can move pages back.
+        let mut sys = System::new(SystemConfig::small().with_ddr_frames(64));
+        let _ = sys.alloc_region(PAGES, Placement::AllOnCxl).unwrap();
+        let vpns: Vec<Vpn> = pages.iter().map(|&p| Vpn(p)).collect();
+        let distinct: std::collections::HashSet<Vpn> = vpns.iter().copied().collect();
+
+        let first = sys.promote_with_demotion(&vpns, 8);
+        prop_assert_eq!(first.migrated.len(), distinct.len());
+        let promotions_after_first = sys.migration_stats().promotions;
+
+        // Re-submit the identical batch (the degenerate retry).
+        let second = sys.promote_with_demotion(&vpns, 8);
+        prop_assert!(second.migrated.is_empty(), "retry double-promoted");
+        prop_assert_eq!(sys.migration_stats().promotions, promotions_after_first);
+        prop_assert_eq!(sys.nr_pages(NodeId::Ddr), distinct.len() as u64);
+    }
+
+    /// Injected SRAM corruption (saturation, bit flips) may garble counts,
+    /// but PAC and WAC hot-set candidates always stay inside the monitored
+    /// address range — corruption never invents addresses.
+    #[test]
+    fn saturated_profilers_never_invent_candidates(
+        accesses in prop::collection::vec((0..8u64, 0u8..64), 1..300),
+        slot in any::<u64>(),
+        bit in 0u32..16,
+    ) {
+        let mut pac = Pac::new(PacConfig {
+            counter_bits: 4,
+            base: Pfn(CXL_BASE_PFN),
+            pages: 8,
+        });
+        let mut wac = Wac::new(WacConfig {
+            counter_bits: 4,
+            window_base: Pfn(CXL_BASE_PFN).base().cache_line(),
+            window_words: 8 * 64,
+        });
+        let half = accesses.len() / 2;
+        for (i, &(page, word)) in accesses.iter().enumerate() {
+            if i == half {
+                pac.on_fault(DeviceFault::SramSaturate);
+                pac.on_fault(DeviceFault::SramBitFlip { slot, bit });
+                wac.on_fault(DeviceFault::SramSaturate);
+                wac.on_fault(DeviceFault::SramBitFlip { slot, bit });
+            }
+            let line = Pfn(CXL_BASE_PFN + page)
+                .word(m5::sim::addr::WordIndex(word))
+                .cache_line();
+            pac.on_access(line, false, Nanos::ZERO);
+            wac.on_access(line, false, Nanos::ZERO);
+        }
+        for (pfn, _) in pac.hottest(1000) {
+            let rel = pfn.0.wrapping_sub(CXL_BASE_PFN);
+            prop_assert!(rel < 8, "PAC invented {pfn:?}");
+        }
+        let base = Pfn(CXL_BASE_PFN).base().cache_line().0;
+        for (line, _) in wac.hottest(10_000) {
+            let rel = line.0.wrapping_sub(base);
+            prop_assert!(rel < 8 * 64, "WAC invented {line:?}");
+        }
+    }
+}
+
+proptest! {
+    // Whole-system chaos runs are heavier; fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fault-injection determinism: identical workload and fault seeds
+    /// reproduce the entire run report, byte for byte.
+    #[test]
+    fn fault_injection_is_deterministic(wseed in any::<u64>(), fseed in any::<u64>()) {
+        use m5::workloads::kv::{generate, KvConfig};
+        let mut c = KvConfig::redis(600);
+        c.seed = wseed;
+        let wl = generate(&c, VirtAddr(0), 5_000);
+        let plan = FaultPlan::chaos(fseed, Nanos(1_000_000));
+        let run_once = || {
+            let mut sys =
+                System::with_fault_plan(SystemConfig::small().with_cxl_frames(2048), &plan);
+            let _ = sys.alloc_region(c.footprint_pages(), Placement::AllOnCxl).unwrap();
+            m5::sim::system::run(
+                &mut sys,
+                &mut wl.fresh(),
+                &mut m5::sim::system::NoMigration,
+                u64::MAX,
+            )
         };
         prop_assert_eq!(run_once(), run_once());
     }

@@ -1,0 +1,164 @@
+//! Offline stand-in for the subset of the `bytes` crate used by the trace
+//! codec: `BytesMut::with_capacity` + `put_u64_le` + `freeze`, and `Bytes`
+//! consumed through `Buf::{has_remaining, get_u64_le}`.
+//!
+//! Backed by a plain `Vec<u8>` with a read cursor — no ref-counted slices —
+//! which is all the single-owner encode/decode paths here need.
+
+#![forbid(unsafe_code)]
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: bytes.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+/// Sequential read access to a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain, like the real crate.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let end = self.pos + 8;
+        assert!(end <= self.data.len(), "buffer underflow in get_u64_le");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Sequential write access to a byte buffer.
+pub trait BufMut {
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0xdead_beef);
+        buf.put_u64_le(42);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 16);
+        assert!(b.has_remaining());
+        assert_eq!(b.get_u64_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 42);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn from_static_reports_full_length() {
+        let b = Bytes::from_static(&[0u8; 15]);
+        assert_eq!(b.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn short_read_panics() {
+        let mut b = Bytes::from_static(&[0u8; 4]);
+        let _ = b.get_u64_le();
+    }
+}

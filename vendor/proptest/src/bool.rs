@@ -1,0 +1,22 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// The strategy returned by [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted(f64);
+
+/// Generates `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted(p)
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<f64>() < self.0
+    }
+}

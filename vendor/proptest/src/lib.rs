@@ -1,0 +1,140 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! The build container has no network access to crates.io, so the real crate
+//! cannot be fetched. This mini implementation keeps the same surface —
+//! `proptest! { ... }`, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, `Just`, range and tuple strategies, `prop::collection::vec`,
+//! `prop::bool::weighted`, and `ProptestConfig::with_cases` — backed by a
+//! deterministic per-test RNG. It generates random cases and asserts on
+//! them; it does **not** shrink failing inputs (failures report the panicking
+//! assertion directly).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` test (no shrinking: forwards to
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` test (forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` test (forwards to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks among several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` random inputs from the strategies
+/// and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr);) => {};
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = {
+                    let __strategy = $strat;
+                    $crate::strategy::Strategy::new_value(&__strategy, &mut __rng)
+                };)+
+                $body
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn enum_strategy() -> impl Strategy<Value = u8> {
+        prop_oneof![
+            3 => Just(0u8),
+            1 => (1u8..4).prop_map(|v| v),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -3i64..3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..3).contains(&y));
+        }
+
+        #[test]
+        fn vec_length_respects_size(v in prop::collection::vec(0u64..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn oneof_and_tuples_compose(
+            tag in enum_strategy(),
+            pair in (0u64..4, any::<bool>()),
+            flag in prop::bool::weighted(0.5),
+        ) {
+            prop_assert!(tag < 4);
+            prop_assert!(pair.0 < 4);
+            let _ = (pair.1, flag);
+        }
+    }
+
+    #[test]
+    fn same_name_means_same_stream() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::from_name("x::y");
+        let mut b = crate::test_runner::TestRng::from_name("x::y");
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

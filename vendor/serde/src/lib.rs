@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates value types with `#[derive(Serialize, Deserialize)]`
+//! so they are format-ready, but no format crate is actually linked. This
+//! crate provides the trait names and re-exports the no-op derives so the
+//! annotations compile without network access to crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented: any type satisfies a `T: Serialize` bound.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Blanket-implemented: any type satisfies a `T: Deserialize<'de>` bound.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on value types for API
+//! compatibility but never serializes anything (there is no `serde_json` or
+//! other format crate in the build). The container this repository builds in
+//! has no network access to crates.io, so the real derive cannot be fetched;
+//! this no-op derive accepts the same syntax — including `#[serde(...)]`
+//! attributes — and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
