@@ -86,11 +86,10 @@ impl FaultClass {
             FaultClass::DdrPressure => 7,
         }
     }
-}
 
-impl fmt::Display for FaultClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The class's stable kebab-case name (also used as a telemetry label).
+    pub const fn label(self) -> &'static str {
+        match self {
             FaultClass::LatencySpike => "latency-spike",
             FaultClass::ControllerStall => "controller-stall",
             FaultClass::PoisonedLine => "poisoned-line",
@@ -99,8 +98,13 @@ impl fmt::Display for FaultClass {
             FaultClass::DeviceFailure => "device-failure",
             FaultClass::MigrationCopyFail => "migration-copy-fail",
             FaultClass::DdrPressure => "ddr-pressure",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -54,19 +54,24 @@ impl CostKind {
             CostKind::DaemonOther => 5,
         }
     }
-}
 
-impl fmt::Display for CostKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The category's stable kebab-case name (also used as a telemetry
+    /// label).
+    pub const fn label(self) -> &'static str {
+        match self {
             CostKind::HintingFault => "hinting-fault",
             CostKind::TlbShootdown => "tlb-shootdown",
             CostKind::PteScan => "pte-scan",
             CostKind::Migration => "migration",
             CostKind::ManagerQuery => "manager-query",
             CostKind::DaemonOther => "daemon-other",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

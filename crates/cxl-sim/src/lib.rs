@@ -72,6 +72,8 @@ pub mod time;
 pub mod tlb;
 pub mod trace;
 
+pub use m5_telemetry as telemetry;
+
 /// Convenience re-exports of the types needed to assemble and drive a system.
 pub mod prelude {
     pub use crate::addr::{
@@ -88,6 +90,11 @@ pub mod prelude {
     pub use crate::memory::NodeId;
     pub use crate::perfmon::BandwidthStats;
     pub use crate::report::{HealthReport, RunReport};
-    pub use crate::system::{Access, AccessOutcome, AccessStream, MigrationDaemon, System};
+    pub use crate::system::{
+        Access, AccessOutcome, AccessStream, MigrationDaemon, System, SystemStats,
+    };
     pub use crate::time::Nanos;
+    pub use m5_telemetry::{
+        JsonlSink, MemorySink, MetricsSnapshot, SpanId, SummarySink, Telemetry,
+    };
 }

@@ -32,6 +32,14 @@ impl NodeId {
     /// Both nodes, fast tier first.
     pub const ALL: [NodeId; 2] = [NodeId::Ddr, NodeId::Cxl];
 
+    /// The node's stable lowercase name (also used as a telemetry label).
+    pub const fn label(self) -> &'static str {
+        match self {
+            NodeId::Ddr => "ddr",
+            NodeId::Cxl => "cxl",
+        }
+    }
+
     /// The other node of the pair.
     pub fn other(self) -> NodeId {
         match self {

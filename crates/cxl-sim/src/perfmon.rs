@@ -36,11 +36,13 @@ pub struct BandwidthStats {
 
 impl BandwidthStats {
     /// Read bandwidth in bytes per second. Returns 0 for an empty window.
+    /// Computed in floating point so a saturated read counter cannot
+    /// overflow the 64-byte scaling.
     pub fn bytes_per_sec(&self) -> f64 {
         if self.window == Nanos::ZERO {
             return 0.0;
         }
-        (self.reads * 64) as f64 / self.window.as_secs_f64()
+        self.reads as f64 * 64.0 / self.window.as_secs_f64()
     }
 }
 

@@ -28,16 +28,17 @@ use crate::addr::{CacheLineAddr, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
 use crate::cache::Llc;
 use crate::config::{Placement, SystemConfig};
 use crate::controller::{CxlController, CxlDevice, DeviceHandle};
-use crate::faults::{FaultEvent, FaultInjector, FaultPlan, SimError};
+use crate::faults::{FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
 use crate::kernel::{CostKind, KernelCosts};
 use crate::memory::{NodeId, OutOfFrames, TieredMemory};
 use crate::mglru::MgLru;
 use crate::migration::{BatchOutcome, MigrateError, MigrationStats};
 use crate::paging::PageTable;
-use crate::perfmon::PerfMonitor;
+use crate::perfmon::{BandwidthStats, PerfMonitor};
 use crate::report::{HealthReport, LatencyHistogram, RunReport};
 use crate::time::{Clock, Nanos};
 use crate::tlb::Tlb;
+use m5_telemetry::{SpanId, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,6 +191,11 @@ pub struct System {
     degradations: Vec<String>,
     promoter_retried: u64,
     promoter_gave_up: u64,
+    telemetry: Telemetry,
+    fault_events_seen: usize,
+    spike_span: Option<SpanId>,
+    stall_span: Option<SpanId>,
+    pressure_span: Option<SpanId>,
 }
 
 impl System {
@@ -221,8 +227,32 @@ impl System {
             degradations: Vec::new(),
             promoter_retried: 0,
             promoter_gave_up: 0,
+            telemetry: Telemetry::disabled(),
+            fault_events_seen: 0,
+            spike_span: None,
+            stall_span: None,
+            pressure_span: None,
             config,
         }
+    }
+
+    /// Installs a telemetry bus (typically [`Telemetry::enabled`] with sinks
+    /// attached). The default is [`Telemetry::disabled`], which reduces every
+    /// instrumentation point to a single branch.
+    pub fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry bus (read-only: snapshots).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The telemetry bus (mutable — daemons record manager-side metrics and
+    /// spans through the system's bus so one snapshot covers the whole
+    /// stack).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Replaces the fault plan (resets the injector; already-armed windows
@@ -245,7 +275,13 @@ impl System {
     /// software-only identification after tracker failure). Surfaces in
     /// [`RunReport::health`].
     pub fn note_degradation(&mut self, msg: impl Into<String>) {
-        self.degradations.push(msg.into());
+        let msg = msg.into();
+        if self.telemetry.is_enabled() {
+            let now = self.clock.now().0;
+            self.telemetry.event(now, "sim.degraded", msg.clone());
+            self.telemetry.counter_add("sim.degraded", "", 1);
+        }
+        self.degradations.push(msg);
     }
 
     /// Degradation-mode switches recorded so far.
@@ -264,6 +300,53 @@ impl System {
         self.faults.poll(self.clock.now());
         while let Some(f) = self.faults.pop_device_fault() {
             self.controller.inject(f);
+        }
+        if self.telemetry.is_enabled() {
+            self.trace_faults();
+        }
+    }
+
+    /// Emits instant events for newly-armed faults and opens/closes
+    /// `sim.fault.window` spans as the injector's latency-spike, stall, and
+    /// DDR-pressure windows come and go. Only called with telemetry enabled.
+    fn trace_faults(&mut self) {
+        let now = self.clock.now();
+        for i in self.fault_events_seen..self.faults.log().len() {
+            let ev = self.faults.log()[i];
+            self.telemetry.counter_add("sim.faults", ev.class.label(), 1);
+            self.telemetry.event(ev.at.0, "sim.fault", ev.class.label());
+        }
+        self.fault_events_seen = self.faults.log().len();
+
+        let windows = [
+            (
+                self.faults.cxl_extra_latency(now) > Nanos::ZERO,
+                &mut self.spike_span,
+                FaultClass::LatencySpike,
+            ),
+            (
+                self.faults.controller_stalled(now),
+                &mut self.stall_span,
+                FaultClass::ControllerStall,
+            ),
+            (
+                self.faults.ddr_pressure(now),
+                &mut self.pressure_span,
+                FaultClass::DdrPressure,
+            ),
+        ];
+        for (active, span, class) in windows {
+            match (active, span.take()) {
+                (true, None) => {
+                    *span = Some(self.telemetry.span_start(
+                        now.0,
+                        "sim.fault.window",
+                        class.label(),
+                    ));
+                }
+                (false, Some(s)) => self.telemetry.span_end(now.0, s),
+                (_, prev) => *span = prev,
+            }
         }
     }
 
@@ -374,7 +457,7 @@ impl System {
             // Soft (hinting) page fault: kernel re-establishes the mapping.
             hinting_fault = true;
             self.hinting_faults += 1;
-            self.kernel.bill(CostKind::HintingFault, costs.hinting_fault);
+            self.bill_kernel(CostKind::HintingFault, costs.hinting_fault);
             latency += costs.hinting_fault;
             self.page_table.set_present(vpn);
         }
@@ -411,20 +494,56 @@ impl System {
                     // and resumes the load — slow but never fatal.
                     poisoned = true;
                     self.faults.note_poison_repaired();
-                    self.kernel.bill(CostKind::DaemonOther, costs.poison_repair);
+                    self.bill_kernel(CostKind::DaemonOther, costs.poison_repair);
                     latency += costs.poison_repair;
                 }
                 if !stalled {
                     self.controller.snoop(line, false, now);
                 }
+                self.telemetry.counter_add(
+                    "sim.snoops",
+                    if stalled { "dropped" } else { "read" },
+                    1,
+                );
             }
             dram_node = Some(node);
         }
         if let Some(wb) = res.writeback {
             let wb_node = NodeId::of_pfn(wb.pfn());
             self.perfmon.record_writeback(wb_node);
-            if wb_node == NodeId::Cxl && !stalled {
-                self.controller.snoop(wb, true, now);
+            self.telemetry.counter_add("sim.dram.writebacks", wb_node.label(), 1);
+            if wb_node == NodeId::Cxl {
+                if !stalled {
+                    self.controller.snoop(wb, true, now);
+                }
+                self.telemetry.counter_add(
+                    "sim.snoops",
+                    if stalled { "dropped" } else { "writeback" },
+                    1,
+                );
+            }
+        }
+
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("sim.accesses", if is_write { "write" } else { "read" }, 1);
+            self.telemetry
+                .counter_add("sim.llc", if res.hit { "hit" } else { "miss" }, 1);
+            if hinting_fault {
+                self.telemetry.counter_add("sim.hinting_faults", "", 1);
+            }
+            if poisoned {
+                self.telemetry.counter_add("sim.poison.repairs", "", 1);
+            }
+            match dram_node {
+                Some(node) => {
+                    self.telemetry.counter_add("sim.dram.reads", node.label(), 1);
+                    self.telemetry
+                        .histogram_record("sim.access.latency", node.label(), latency.0);
+                }
+                None => self
+                    .telemetry
+                    .histogram_record("sim.access.latency", "llc", latency.0),
             }
         }
 
@@ -439,16 +558,53 @@ impl System {
         })
     }
 
+    /// Bills kernel work to the ledger and mirrors it to telemetry.
+    fn bill_kernel(&mut self, kind: CostKind, d: Nanos) {
+        self.kernel.bill(kind, d);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("sim.kernel.ns", kind.label(), d.0);
+            self.telemetry.counter_add("sim.kernel.events", kind.label(), 1);
+        }
+    }
+
     /// Bills daemon kernel work; when the daemon is co-located with the
     /// application core, the clock advances too (the application stalls).
     pub fn daemon_bill(&mut self, kind: CostKind, d: Nanos) {
-        self.kernel.bill(kind, d);
+        self.bill_kernel(kind, d);
         if self.config.colocated_daemon {
             self.clock.advance(d);
         }
     }
 
+    /// Closes the perf-monitor measurement window at the current instant,
+    /// returning both nodes' bandwidth stats (fast tier first) and updating
+    /// the `sim.bw.bytes_per_sec` / `sim.nr_pages` telemetry gauges. This is
+    /// the Monitor's sampling entry point (paper Table 1).
+    pub fn rollover_bandwidth(&mut self) -> [BandwidthStats; 2] {
+        let now = self.clock.now();
+        let stats = self.perfmon.rollover(now);
+        if self.telemetry.is_enabled() {
+            for (node, bw) in NodeId::ALL.iter().zip(&stats) {
+                self.telemetry
+                    .gauge_set("sim.bw.bytes_per_sec", node.label(), bw.bytes_per_sec());
+                self.telemetry.gauge_set(
+                    "sim.nr_pages",
+                    node.label(),
+                    self.memory.node(*node).allocated_frames() as f64,
+                );
+            }
+        }
+        stats
+    }
+
     /// Migrates `vpn` to `dst`, with the Promoter-style safety checks.
+    ///
+    /// A failed call counts one rejected migration: a direct call is one
+    /// request, and its failure is final. Retry-aware callers (the internal
+    /// promote-with-demotion loop, the M5 Promoter's backoff rounds) must
+    /// use [`System::migrate_page_uncounted`] for their re-attempts and
+    /// count the *final* outcome exactly once — otherwise one rejected
+    /// request inflates [`MigrationStats::rejected`] by the retry count.
     ///
     /// # Errors
     ///
@@ -457,13 +613,22 @@ impl System {
     /// (fault injection). No cost is billed on failure except for the
     /// rejected-stat bump.
     pub fn migrate_page(&mut self, vpn: Vpn, dst: NodeId) -> Result<(), MigrateError> {
+        let r = self.migrate_page_uncounted(vpn, dst);
+        if r.is_err() {
+            self.note_rejected_migrations(1);
+        }
+        r
+    }
+
+    /// [`System::migrate_page`] without the rejected-stat bump on failure,
+    /// for callers that retry and account the final outcome themselves via
+    /// [`System::note_rejected_migrations`]. Successful migrations are
+    /// always counted (a success is never retried).
+    pub fn migrate_page_uncounted(&mut self, vpn: Vpn, dst: NodeId) -> Result<(), MigrateError> {
         self.service_faults();
         let pte = match self.page_table.get(vpn) {
             Some(p) => *p,
-            None => {
-                self.migrations.rejected += 1;
-                return Err(MigrateError::NotMapped);
-            }
+            None => return Err(MigrateError::NotMapped),
         };
         let check = if pte.node() == dst {
             Some(MigrateError::AlreadyThere)
@@ -475,27 +640,21 @@ impl System {
             None
         };
         if let Some(e) = check {
-            self.migrations.rejected += 1;
             return Err(e);
         }
         // Injected DDR pressure: promotions find the fast tier full even
         // though frames are nominally free (another tenant grabbed them).
         if dst == NodeId::Ddr && self.faults.ddr_pressure(self.clock.now()) {
-            self.migrations.rejected += 1;
             return Err(MigrateError::DestinationFull(OutOfFrames { node: dst }));
         }
         if self.faults.take_copy_failure() {
             // Copy-engine/DMA error before anything was remapped: the
             // source page is untouched, the attempt is simply rejected.
-            self.migrations.rejected += 1;
             return Err(MigrateError::CopyFailed);
         }
         let new_pfn = match self.memory.alloc_on(dst) {
             Ok(p) => p,
-            Err(e) => {
-                self.migrations.rejected += 1;
-                return Err(MigrateError::DestinationFull(e));
-            }
+            Err(e) => return Err(MigrateError::DestinationFull(e)),
         };
         let old_pfn = self.page_table.remap(vpn, new_pfn);
         self.memory.free(old_pfn);
@@ -526,7 +685,23 @@ impl System {
             }
         }
         self.migrations.record(dst);
+        self.telemetry.counter_add(
+            "sim.migrations",
+            match dst {
+                NodeId::Ddr => "promoted",
+                NodeId::Cxl => "demoted",
+            },
+            1,
+        );
         Ok(())
+    }
+
+    /// Counts `n` migration requests whose final outcome was rejection.
+    /// Paired with [`System::migrate_page_uncounted`]: a retrying caller
+    /// calls this once per request it gives up on, never per attempt.
+    pub fn note_rejected_migrations(&mut self, n: u64) {
+        self.migrations.rejected += n;
+        self.telemetry.counter_add("sim.migrations", "rejected", n);
     }
 
     /// Migrates a batch of pages to `dst`, collecting per-page outcomes
@@ -569,11 +744,28 @@ impl System {
     /// fast tier fills up (the paper's §7.2 protocol: once DDR is full,
     /// every batch of promotions demotes an equal number of MGLRU-cold
     /// pages). Returns the batch outcome.
+    ///
+    /// Each requested page counts at most one rejected migration, no matter
+    /// how many internal attempts (initial try, post-demotion retry) it
+    /// took to reach that verdict.
     pub fn promote_with_demotion(&mut self, vpns: &[Vpn], demote_batch: usize) -> BatchOutcome {
+        let out = self.promote_with_demotion_uncounted(vpns, demote_batch);
+        self.note_rejected_migrations(out.rejected.len() as u64);
+        out
+    }
+
+    /// [`System::promote_with_demotion`] without counting the rejections,
+    /// for callers (the M5 Promoter) that retry transiently-failed pages in
+    /// later rounds and count only the pages they finally give up on.
+    pub fn promote_with_demotion_uncounted(
+        &mut self,
+        vpns: &[Vpn],
+        demote_batch: usize,
+    ) -> BatchOutcome {
         let mut out = BatchOutcome::default();
         let mut aged_this_call = false;
         for &vpn in vpns {
-            match self.migrate_page(vpn, NodeId::Ddr) {
+            match self.migrate_page_uncounted(vpn, NodeId::Ddr) {
                 Ok(()) => out.migrated.push(vpn),
                 Err(MigrateError::DestinationFull(_)) => {
                     // Age before the first demotion of this batch so
@@ -593,7 +785,7 @@ impl System {
                             })));
                         continue;
                     }
-                    match self.migrate_page(vpn, NodeId::Ddr) {
+                    match self.migrate_page_uncounted(vpn, NodeId::Ddr) {
                         Ok(()) => out.migrated.push(vpn),
                         Err(e) => out.rejected.push((vpn, e)),
                     }
@@ -681,6 +873,121 @@ impl System {
     pub fn hinting_faults(&self) -> u64 {
         self.hinting_faults
     }
+
+    /// A cumulative snapshot of every aggregate a [`RunReport`] is built
+    /// from. Capture one before a run, another after, and diff — this is
+    /// the single accounting path used by [`run`], so reports and live
+    /// telemetry can never disagree about what a counter means.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            now: self.clock.now(),
+            llc_hits: self.llc.hits(),
+            llc_misses: self.llc.misses(),
+            dram_reads: [
+                self.perfmon.total_reads(NodeId::Ddr),
+                self.perfmon.total_reads(NodeId::Cxl),
+            ],
+            dram_writebacks: [
+                self.perfmon.total_writebacks(NodeId::Ddr),
+                self.perfmon.total_writebacks(NodeId::Cxl),
+            ],
+            hinting_faults: self.hinting_faults,
+            kernel: self.kernel.clone(),
+            migrations: self.migrations,
+            fault_counts: {
+                let mut c = [0u64; FaultClass::ALL.len()];
+                for (slot, &class) in c.iter_mut().zip(FaultClass::ALL.iter()) {
+                    *slot = self.faults.count_of(class);
+                }
+                c
+            },
+            poison_repairs: self.faults.poison_repairs(),
+            degradations: self.degradations.len(),
+            promoter_retried: self.promoter_retried,
+            promoter_gave_up: self.promoter_gave_up,
+        }
+    }
+
+    /// Assembles a [`RunReport`] covering everything since `before` (a
+    /// snapshot from [`System::stats`]). `accesses` and `op_latency` come
+    /// from the driver, which is the only place that can count them.
+    pub fn report_since(
+        &self,
+        before: &SystemStats,
+        daemon: String,
+        accesses: u64,
+        op_latency: LatencyHistogram,
+    ) -> RunReport {
+        let after = self.stats();
+        let fault_counts: Vec<_> = FaultClass::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &class)| {
+                let n = after.fault_counts[i] - before.fault_counts[i];
+                (n > 0).then_some((class, n))
+            })
+            .collect();
+        RunReport {
+            daemon,
+            total_time: after.now - before.now,
+            accesses,
+            llc_hits: after.llc_hits - before.llc_hits,
+            llc_misses: after.llc_misses - before.llc_misses,
+            dram_reads: [
+                (NodeId::Ddr, after.dram_reads[0] - before.dram_reads[0]),
+                (NodeId::Cxl, after.dram_reads[1] - before.dram_reads[1]),
+            ],
+            hinting_faults: after.hinting_faults - before.hinting_faults,
+            migrations: MigrationStats {
+                promotions: after.migrations.promotions - before.migrations.promotions,
+                demotions: after.migrations.demotions - before.migrations.demotions,
+                rejected: after.migrations.rejected - before.migrations.rejected,
+            },
+            kernel: after.kernel.delta_since(&before.kernel),
+            op_latency,
+            health: HealthReport {
+                faults_injected: fault_counts.iter().map(|&(_, n)| n).sum(),
+                fault_counts,
+                poison_repairs: after.poison_repairs - before.poison_repairs,
+                degraded: self.degradations[before.degradations..].to_vec(),
+                promoter_retried: after.promoter_retried - before.promoter_retried,
+                promoter_gave_up: after.promoter_gave_up - before.promoter_gave_up,
+            },
+        }
+    }
+}
+
+/// A cumulative snapshot of the aggregates behind [`RunReport`], captured
+/// with [`System::stats`]. All fields count from system construction;
+/// subtract two snapshots for per-run deltas.
+#[derive(Clone, Debug)]
+pub struct SystemStats {
+    /// Simulated time at capture.
+    pub now: Nanos,
+    /// Cumulative LLC hits.
+    pub llc_hits: u64,
+    /// Cumulative LLC misses.
+    pub llc_misses: u64,
+    /// Cumulative DRAM reads, `[DDR, CXL]`.
+    pub dram_reads: [u64; 2],
+    /// Cumulative DRAM writebacks, `[DDR, CXL]`.
+    pub dram_writebacks: [u64; 2],
+    /// Cumulative soft page faults.
+    pub hinting_faults: u64,
+    /// The kernel-time ledger.
+    pub kernel: KernelCosts,
+    /// Cumulative migration statistics.
+    pub migrations: MigrationStats,
+    /// Cumulative armed faults, indexed like [`FaultClass::ALL`].
+    pub fault_counts: [u64; FaultClass::ALL.len()],
+    /// Cumulative poisoned lines recovered.
+    pub poison_repairs: u64,
+    /// Number of degradation-mode switches recorded.
+    pub degradations: usize,
+    /// Cumulative Promoter retry rounds.
+    pub promoter_retried: u64,
+    /// Cumulative pages the Promoter gave up on.
+    pub promoter_gave_up: u64,
 }
 
 /// Drives `workload` through `sys` under `daemon` for at most
@@ -692,24 +999,7 @@ where
     W: AccessStream + ?Sized,
     D: MigrationDaemon + ?Sized,
 {
-    let t0 = sys.now();
-    let llc_hits0 = sys.llc.hits();
-    let llc_misses0 = sys.llc.misses();
-    let reads0 = [
-        sys.perfmon.total_reads(NodeId::Ddr),
-        sys.perfmon.total_reads(NodeId::Cxl),
-    ];
-    let faults0 = sys.hinting_faults;
-    let kernel0 = sys.kernel.clone();
-    let mig0 = sys.migrations;
-    let injected0: Vec<u64> = crate::faults::FaultClass::ALL
-        .iter()
-        .map(|&c| sys.faults.count_of(c))
-        .collect();
-    let poison0 = sys.faults.poison_repairs();
-    let degraded0 = sys.degradations.len();
-    let retried0 = sys.promoter_retried;
-    let gave_up0 = sys.promoter_gave_up;
+    let before = sys.stats();
 
     daemon.on_start(sys);
 
@@ -738,48 +1028,14 @@ where
         n += 1;
         if acc.op_end {
             let now = sys.now();
-            op_hist.record(now - op_start);
+            let op = now - op_start;
+            op_hist.record(op);
+            sys.telemetry.histogram_record("sim.op.latency", "", op.0);
             op_start = now;
         }
     }
 
-    RunReport {
-        daemon: daemon.name().to_string(),
-        total_time: sys.now() - t0,
-        accesses: n,
-        llc_hits: sys.llc.hits() - llc_hits0,
-        llc_misses: sys.llc.misses() - llc_misses0,
-        dram_reads: [
-            (NodeId::Ddr, sys.perfmon.total_reads(NodeId::Ddr) - reads0[0]),
-            (NodeId::Cxl, sys.perfmon.total_reads(NodeId::Cxl) - reads0[1]),
-        ],
-        hinting_faults: sys.hinting_faults - faults0,
-        migrations: crate::migration::MigrationStats {
-            promotions: sys.migrations.promotions - mig0.promotions,
-            demotions: sys.migrations.demotions - mig0.demotions,
-            rejected: sys.migrations.rejected - mig0.rejected,
-        },
-        kernel: sys.kernel.delta_since(&kernel0),
-        op_latency: op_hist,
-        health: {
-            let fault_counts: Vec<_> = crate::faults::FaultClass::ALL
-                .iter()
-                .zip(&injected0)
-                .filter_map(|(&c, &before)| {
-                    let n = sys.faults.count_of(c) - before;
-                    (n > 0).then_some((c, n))
-                })
-                .collect();
-            HealthReport {
-                faults_injected: fault_counts.iter().map(|&(_, n)| n).sum(),
-                fault_counts,
-                poison_repairs: sys.faults.poison_repairs() - poison0,
-                degraded: sys.degradations[degraded0..].to_vec(),
-                promoter_retried: sys.promoter_retried - retried0,
-                promoter_gave_up: sys.promoter_gave_up - gave_up0,
-            }
-        },
-    }
+    sys.report_since(&before, daemon.name().to_string(), n, op_hist)
 }
 
 #[cfg(test)]

@@ -1,0 +1,119 @@
+//! Property tests for the performance-counter model: the Monitor's whole
+//! view of the machine flows through `PerfMonitor::rollover`, so its
+//! counters must stay exact and monotone under any interleaving of reads,
+//! writebacks, and window rollovers.
+
+use cxl_sim::memory::NodeId;
+use cxl_sim::perfmon::{BandwidthStats, PerfMonitor};
+use cxl_sim::time::Nanos;
+use proptest::prelude::*;
+
+/// One scripted monitor operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(NodeId),
+    Writeback(NodeId),
+    Rollover(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<bool>().prop_map(|c| Op::Read(if c { NodeId::Cxl } else { NodeId::Ddr })),
+        2 => any::<bool>().prop_map(|c| Op::Writeback(if c { NodeId::Cxl } else { NodeId::Ddr })),
+        1 => (1u64..10_000).prop_map(Op::Rollover),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Totals are monotone, never reset by rollover, and the window reads
+    /// handed out across all rollovers partition the cumulative totals.
+    #[test]
+    fn totals_are_monotone_and_windows_partition_them(ops in prop::collection::vec(op(), 1..300)) {
+        let mut pm = PerfMonitor::new();
+        let mut now = Nanos::ZERO;
+        let mut rolled = [0u64; 2];
+        let mut expect_reads = [0u64; 2];
+        let mut expect_wb = [0u64; 2];
+        let mut prev_totals = [0u64; 2];
+        for o in ops {
+            match o {
+                Op::Read(n) => {
+                    pm.record_read(n);
+                    expect_reads[n as usize % 2] += 1;
+                }
+                Op::Writeback(n) => {
+                    pm.record_writeback(n);
+                    expect_wb[n as usize % 2] += 1;
+                }
+                Op::Rollover(dt) => {
+                    now = now + Nanos(dt);
+                    let [ddr, cxl] = pm.rollover(now);
+                    rolled[0] += ddr.reads;
+                    rolled[1] += cxl.reads;
+                    // A closed window starts the next one empty.
+                    prop_assert_eq!(pm.window(NodeId::Ddr, now).reads, 0);
+                    prop_assert_eq!(pm.window(NodeId::Cxl, now).window, Nanos::ZERO);
+                }
+            }
+            let totals = [pm.total_reads(NodeId::Ddr), pm.total_reads(NodeId::Cxl)];
+            prop_assert!(totals[0] >= prev_totals[0] && totals[1] >= prev_totals[1],
+                "totals must be monotone");
+            prev_totals = totals;
+        }
+        let ddr_idx = NodeId::Ddr as usize % 2;
+        let cxl_idx = NodeId::Cxl as usize % 2;
+        prop_assert_eq!(pm.total_reads(NodeId::Ddr), expect_reads[ddr_idx]);
+        prop_assert_eq!(pm.total_reads(NodeId::Cxl), expect_reads[cxl_idx]);
+        prop_assert_eq!(pm.total_writebacks(NodeId::Ddr), expect_wb[ddr_idx]);
+        prop_assert_eq!(pm.total_writebacks(NodeId::Cxl), expect_wb[cxl_idx]);
+        // Every read either left through a rollover or is still in the
+        // open window.
+        prop_assert_eq!(
+            rolled[ddr_idx] + pm.window(NodeId::Ddr, now).reads,
+            pm.total_reads(NodeId::Ddr)
+        );
+        prop_assert_eq!(
+            rolled[cxl_idx] + pm.window(NodeId::Cxl, now).reads,
+            pm.total_reads(NodeId::Cxl)
+        );
+    }
+
+    /// Bandwidth is finite and non-negative for any counter value,
+    /// including a saturated one — the 64-byte scaling must not overflow.
+    #[test]
+    fn bandwidth_never_overflows(reads in any::<u64>(), window in 0u64..u64::MAX) {
+        let s = BandwidthStats { reads, window: Nanos(window) };
+        let bw = s.bytes_per_sec();
+        prop_assert!(bw.is_finite());
+        prop_assert!(bw >= 0.0);
+    }
+}
+
+#[test]
+fn saturated_counter_reports_finite_bandwidth() {
+    let s = BandwidthStats {
+        reads: u64::MAX,
+        window: Nanos(1),
+    };
+    let bw = s.bytes_per_sec();
+    assert!(bw.is_finite() && bw > 0.0);
+}
+
+/// A rollover observed through the system wrapper publishes gauges too.
+#[test]
+fn system_rollover_publishes_gauges() {
+    use cxl_sim::prelude::*;
+    let mut sys = System::new(SystemConfig::small());
+    sys.install_telemetry(Telemetry::enabled());
+    let region = sys.alloc_region(4, Placement::AllOnCxl).unwrap();
+    for i in 0..64u64 {
+        sys.access(region.base.offset(i * 64), false);
+    }
+    let _ = sys.rollover_bandwidth();
+    let snap = sys.telemetry().snapshot();
+    assert!(snap.gauge("sim.bw.bytes_per_sec", "cxl").unwrap() > 0.0);
+    assert_eq!(snap.gauge("sim.nr_pages", "cxl"), Some(4.0));
+    assert_eq!(snap.gauge("sim.nr_pages", "ddr"), Some(0.0));
+}

@@ -1,0 +1,237 @@
+//! Telemetry integration: the in-memory sink's snapshot must exactly
+//! reproduce the `RunReport` aggregates (they share one accounting path),
+//! fault windows must trace as spans, and a disabled bus must not perturb
+//! a run.
+
+use cxl_sim::faults::FaultKind;
+use cxl_sim::prelude::*;
+use cxl_sim::report::RunReport;
+use cxl_sim::system::{run, NoMigration, Region};
+
+struct Stream {
+    region: Region,
+    n: u64,
+    i: u64,
+}
+
+impl AccessStream for Stream {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.i >= self.n {
+            return None;
+        }
+        // Stride through the region line by line, every 4th access a store,
+        // every 16th the end of a client-visible op.
+        let a = self
+            .region
+            .base
+            .offset(self.i * 64 % self.region.len_bytes());
+        let mut acc = if self.i % 4 == 0 {
+            Access::write(a)
+        } else {
+            Access::read(a)
+        };
+        if self.i % 16 == 15 {
+            acc = acc.end_op();
+        }
+        self.i += 1;
+        Some(acc)
+    }
+}
+
+/// A daemon that exercises the migration engine during the run: promotions,
+/// demotions, and a permanent rejection.
+struct Exerciser {
+    region: Region,
+    wake: Nanos,
+    ticks: u64,
+}
+
+impl MigrationDaemon for Exerciser {
+    fn name(&self) -> &str {
+        "exerciser"
+    }
+    fn next_wake(&self) -> Option<Nanos> {
+        (self.ticks < 3).then_some(self.wake)
+    }
+    fn on_tick(&mut self, sys: &mut System) {
+        let base = self.region.base.vpn();
+        match self.ticks {
+            0 => {
+                let _ = sys.migrate_page(base, NodeId::Ddr);
+                let _ = sys.migrate_page(base.offset(1), NodeId::Ddr);
+            }
+            1 => {
+                let _ = sys.migrate_page(base, NodeId::Cxl);
+                // Unmapped page: a finally-rejected request.
+                let _ = sys.migrate_page(Vpn(9_999), NodeId::Ddr);
+            }
+            _ => sys.note_degradation("exerciser: synthetic degradation"),
+        }
+        self.ticks += 1;
+        self.wake = sys.now() + Nanos::from_micros(20);
+    }
+}
+
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with(
+            Nanos::from_micros(5),
+            FaultKind::LatencySpike {
+                extra: Nanos(400),
+                duration: Nanos::from_micros(30),
+            },
+        )
+        .with(Nanos::from_micros(10), FaultKind::PoisonLine { reads: 2 })
+        .with(
+            Nanos::from_micros(40),
+            FaultKind::ControllerStall {
+                duration: Nanos::from_micros(15),
+            },
+        )
+}
+
+fn seeded_run(telemetry: Option<Telemetry>) -> (System, RunReport) {
+    let mut sys = System::with_fault_plan(SystemConfig::small(), &faulty_plan());
+    if let Some(t) = telemetry {
+        sys.install_telemetry(t);
+    }
+    let region = sys.alloc_region(16, Placement::AllOnCxl).unwrap();
+    let mut wl = Stream {
+        region,
+        n: 6_000,
+        i: 0,
+    };
+    let mut daemon = Exerciser {
+        region,
+        wake: Nanos::from_micros(10),
+        ticks: 0,
+    };
+    let report = run(&mut sys, &mut wl, &mut daemon, u64::MAX);
+    (sys, report)
+}
+
+#[test]
+fn snapshot_exactly_reproduces_run_report() {
+    let (mut sys, report) = seeded_run(Some(Telemetry::enabled()));
+    sys.telemetry_mut().flush();
+    let snap = sys.telemetry().snapshot();
+
+    assert_eq!(snap.counter_total("sim.accesses"), report.accesses);
+    assert_eq!(snap.counter("sim.llc", "hit"), Some(report.llc_hits));
+    assert_eq!(snap.counter("sim.llc", "miss"), Some(report.llc_misses));
+    for node in NodeId::ALL {
+        assert_eq!(
+            snap.counter("sim.dram.reads", node.label()).unwrap_or(0),
+            report.reads_on(node),
+            "dram reads on {node}"
+        );
+    }
+    assert_eq!(
+        snap.counter("sim.migrations", "promoted").unwrap_or(0),
+        report.migrations.promotions
+    );
+    assert_eq!(
+        snap.counter("sim.migrations", "demoted").unwrap_or(0),
+        report.migrations.demotions
+    );
+    assert_eq!(
+        snap.counter("sim.migrations", "rejected").unwrap_or(0),
+        report.migrations.rejected
+    );
+    assert!(report.migrations.promotions >= 2, "exerciser promoted");
+    assert!(report.migrations.rejected >= 1, "exerciser was rejected");
+
+    for kind in CostKind::ALL {
+        assert_eq!(
+            snap.counter("sim.kernel.ns", kind.label()).unwrap_or(0),
+            report.kernel.of(kind).0,
+            "kernel ns of {kind}"
+        );
+        assert_eq!(
+            snap.counter("sim.kernel.events", kind.label()).unwrap_or(0),
+            report.kernel.events_of(kind),
+            "kernel events of {kind}"
+        );
+    }
+
+    assert_eq!(
+        snap.counter_total("sim.faults"),
+        report.health.faults_injected
+    );
+    for (class, n) in &report.health.fault_counts {
+        assert_eq!(
+            snap.counter("sim.faults", class.label()),
+            Some(*n),
+            "fault count of {class}"
+        );
+    }
+    assert_eq!(
+        snap.counter("sim.poison.repairs", "").unwrap_or(0),
+        report.health.poison_repairs
+    );
+    assert!(report.health.poison_repairs > 0, "poison plan fired");
+    assert_eq!(
+        snap.counter("sim.degraded", "").unwrap_or(0),
+        report.health.degraded.len() as u64
+    );
+
+    // Histogram totals equal event counts.
+    let lat_total: u64 = ["llc", "ddr", "cxl"]
+        .iter()
+        .filter_map(|l| snap.histogram("sim.access.latency", l))
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(lat_total, report.accesses);
+    assert_eq!(
+        snap.histogram("sim.op.latency", "").map(|h| h.count).unwrap_or(0),
+        report.op_latency.count()
+    );
+}
+
+#[test]
+fn fault_windows_trace_as_spans() {
+    let mut sys = System::with_fault_plan(SystemConfig::small(), &faulty_plan());
+    let mut t = Telemetry::enabled();
+    let (sink, buf) = MemorySink::new();
+    t.add_sink(Box::new(sink));
+    sys.install_telemetry(t);
+    let region = sys.alloc_region(16, Placement::AllOnCxl).unwrap();
+    let mut wl = Stream {
+        region,
+        n: 6_000,
+        i: 0,
+    };
+    run(&mut sys, &mut wl, &mut NoMigration, u64::MAX);
+
+    let events = buf.lock().unwrap().events.clone();
+    let window_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "sim.fault.window")
+        .collect();
+    for label in ["latency-spike", "controller-stall"] {
+        assert!(
+            window_events.iter().any(|e| {
+                e.label == label && e.kind == cxl_sim::telemetry::EventKind::SpanStart
+            }),
+            "missing span start for {label}"
+        );
+        assert!(
+            window_events.iter().any(|e| {
+                e.label == label
+                    && matches!(e.kind, cxl_sim::telemetry::EventKind::SpanEnd { .. })
+            }),
+            "missing span end for {label}"
+        );
+    }
+    assert!(
+        events.iter().any(|e| e.name == "sim.fault"),
+        "fault arming emits instant events"
+    );
+}
+
+#[test]
+fn disabled_telemetry_does_not_perturb_the_run() {
+    let (_, with) = seeded_run(Some(Telemetry::enabled()));
+    let (_, without) = seeded_run(None);
+    assert_eq!(with, without, "telemetry must be observation-only");
+}

@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod golden;
 pub mod results;
 
 use cxl_sim::prelude::*;

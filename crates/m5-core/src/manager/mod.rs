@@ -238,13 +238,25 @@ impl M5Manager {
         let cxl_frames = sys.config().cxl.capacity_frames;
         let pfn_ok =
             |pfn: Pfn| pfn.0 >= CXL_BASE_PFN && pfn.0 < CXL_BASE_PFN + cxl_frames;
+        // Report batches are traced as spans so a JSONL consumer can line
+        // up tracker output with the epoch that consumed it.
+        let span = sys.telemetry().is_enabled().then(|| {
+            let now = sys.now().0;
+            sys.telemetry_mut().span_start(now, "m5.tracker.report", "")
+        });
 
         let mut hot_pages = match self.hpt {
             Some(h) => {
                 sys.daemon_bill(CostKind::ManagerQuery, query_cost);
-                sys.device_mut::<HotPageTracker>(h)
-                    .map(|d| d.query())
-                    .unwrap_or_default()
+                let (observed, out) = sys
+                    .device_mut::<HotPageTracker>(h)
+                    .map(|d| (d.observed(), d.query()))
+                    .unwrap_or_default();
+                let t = sys.telemetry_mut();
+                t.counter_add("m5.tracker.queries", "hpt", 1);
+                t.gauge_set("m5.tracker.observed", "hpt", observed as f64);
+                t.gauge_set("m5.tracker.batch", "hpt", out.len() as f64);
+                out
             }
             None => Vec::new(),
         };
@@ -258,6 +270,7 @@ impl M5Manager {
         {
             hot_pages.clear();
             self.hpt_strikes = self.hpt_strikes.saturating_add(1);
+            sys.telemetry_mut().counter_add("m5.tracker.strikes", "hpt", 1);
             if self.hpt_strikes >= TRACKER_STRIKE_LIMIT {
                 self.engage_fallback(sys, "hpt");
             }
@@ -266,9 +279,15 @@ impl M5Manager {
         let mut hot_words = match self.hwt {
             Some(h) => {
                 sys.daemon_bill(CostKind::ManagerQuery, query_cost);
-                sys.device_mut::<HotWordTracker>(h)
-                    .map(|d| d.query())
-                    .unwrap_or_default()
+                let (observed, out) = sys
+                    .device_mut::<HotWordTracker>(h)
+                    .map(|d| (d.observed(), d.query()))
+                    .unwrap_or_default();
+                let t = sys.telemetry_mut();
+                t.counter_add("m5.tracker.queries", "hwt", 1);
+                t.gauge_set("m5.tracker.observed", "hwt", observed as f64);
+                t.gauge_set("m5.tracker.batch", "hwt", out.len() as f64);
+                out
             }
             None => Vec::new(),
         };
@@ -278,9 +297,14 @@ impl M5Manager {
         {
             hot_words.clear();
             self.hwt_strikes = self.hwt_strikes.saturating_add(1);
+            sys.telemetry_mut().counter_add("m5.tracker.strikes", "hwt", 1);
             if self.hwt_strikes >= TRACKER_STRIKE_LIMIT {
                 self.engage_fallback(sys, "hwt");
             }
+        }
+        if let Some(s) = span {
+            let now = sys.now().0;
+            sys.telemetry_mut().span_end(now, s);
         }
         (hot_pages, hot_words)
     }
@@ -290,11 +314,17 @@ impl M5Manager {
     /// queried; candidates come from PTE accessed-bit scans instead, and
     /// the mode change is recorded in the run report via the daemon name
     /// and the system's degradation log.
-    fn engage_fallback(&mut self, sys: &mut System, which: &str) {
+    fn engage_fallback(&mut self, sys: &mut System, which: &'static str) {
         if self.fallback {
             return;
         }
         self.fallback = true;
+        if sys.telemetry().is_enabled() {
+            let now = sys.now().0;
+            let t = sys.telemetry_mut();
+            t.counter_add("m5.fallback", which, 1);
+            t.event(now, "m5.fallback", which);
+        }
         sys.note_degradation(format!(
             "{}: {which} returned garbage {TRACKER_STRIKE_LIMIT}x; \
              falling back to software-only identification",
@@ -351,8 +381,17 @@ impl MigrationDaemon for M5Manager {
         self.epochs += 1;
         let stats = self.monitor.sample(sys);
         let decision = self.elector.decide(&stats);
+        sys.telemetry_mut().counter_add(
+            "m5.epochs",
+            if decision.migrate { "migrate" } else { "hold" },
+            1,
+        );
         if decision.migrate {
             self.migrate_epochs += 1;
+            let span = sys.telemetry().is_enabled().then(|| {
+                let now = sys.now().0;
+                sys.telemetry_mut().span_start(now, "m5.epoch", "migrate")
+            });
             let (hot_pages, hot_words) = if self.fallback {
                 (Vec::new(), Vec::new())
             } else {
@@ -401,6 +440,10 @@ impl MigrationDaemon for M5Manager {
                 for e in &nominated {
                     self.nominator.retire(e.pfn);
                 }
+            }
+            if let Some(s) = span {
+                let now = sys.now().0;
+                sys.telemetry_mut().span_end(now, s);
             }
         }
         self.wake = Some(sys.now() + decision.period);
@@ -538,6 +581,67 @@ mod tests {
             spent <= 0.05 * elapsed * 2.0,
             "migration {spent}ns exceeds 5% of {elapsed}ns"
         );
+    }
+
+    #[test]
+    fn manager_telemetry_mirrors_component_stats() {
+        let (mut sys, mut wl, mut m5) = setup(M5Config::default());
+        let mut t = Telemetry::enabled();
+        let (sink, buf) = MemorySink::new();
+        t.add_sink(Box::new(sink));
+        sys.install_telemetry(t);
+        let report = run(&mut sys, &mut wl, &mut m5, u64::MAX);
+
+        let snap = sys.telemetry().snapshot();
+        assert_eq!(snap.counter_total("m5.epochs"), m5.epochs());
+        assert_eq!(
+            snap.counter("m5.epochs", "migrate").unwrap_or(0),
+            m5.migrate_epochs()
+        );
+        assert_eq!(
+            snap.counter("m5.tracker.queries", "hpt").unwrap_or(0),
+            m5.migrate_epochs(),
+            "one HPT query per migrate epoch"
+        );
+        let stats = m5.promoter_stats();
+        assert_eq!(
+            snap.counter("m5.promoter", "promoted").unwrap_or(0),
+            stats.promoted
+        );
+        assert_eq!(
+            snap.counter("m5.promoter", "retried").unwrap_or(0),
+            stats.retried
+        );
+        assert_eq!(
+            snap.counter("m5.promoter", "gave-up").unwrap_or(0),
+            stats.gave_up
+        );
+        assert_eq!(stats.promoted, report.migrations.promotions);
+        assert!(
+            snap.gauge("m5.tracker.observed", "hpt").is_some(),
+            "occupancy gauge published"
+        );
+        assert!(snap.gauge("sim.bw.bytes_per_sec", "cxl").is_some());
+        assert!(snap.gauge("sim.nr_pages", "ddr").is_some());
+
+        // Migration epochs and tracker report batches trace as spans.
+        let events = buf.lock().unwrap().events.clone();
+        use cxl_sim::telemetry::EventKind;
+        for name in ["m5.epoch", "m5.tracker.report"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == name && e.kind == EventKind::SpanStart),
+                "missing span start for {name}"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == name
+                        && matches!(e.kind, EventKind::SpanEnd { .. })),
+                "missing span end for {name}"
+            );
+        }
     }
 
     #[test]

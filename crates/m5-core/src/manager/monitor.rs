@@ -88,8 +88,9 @@ impl Monitor {
         // Reading pcm counters + /proc/zoneinfo.
         let cost = sys.config().costs.mmio_reg_access;
         sys.daemon_bill(CostKind::ManagerQuery, cost * 2);
-        let now = sys.now();
-        let [ddr, cxl] = sys.perfmon_mut().rollover(now);
+        // `rollover_bandwidth` also publishes the per-node bandwidth and
+        // occupancy gauges on the system's telemetry bus.
+        let [ddr, cxl] = sys.rollover_bandwidth();
         TierStats {
             nr_pages: [sys.nr_pages(NodeId::Ddr), sys.nr_pages(NodeId::Cxl)],
             bw: [ddr.bytes_per_sec(), cxl.bytes_per_sec()],

@@ -92,7 +92,12 @@ impl Promoter {
             }
         }
 
-        let mut out = sys.promote_with_demotion(&vpns, self.config.demote_batch);
+        // Every round below runs through the *uncounted* migration path:
+        // a page retried three times is still one migration request, and
+        // must appear at most once in `MigrationStats::rejected` (and hence
+        // in the RunReport/HealthReport merge). The final outcomes are
+        // settled once, after the retry loop.
+        let mut out = sys.promote_with_demotion_uncounted(&vpns, self.config.demote_batch);
 
         // Bounded retry with exponential backoff: transient rejections
         // (destination full under pressure, a flaky page copy) are worth a
@@ -112,29 +117,42 @@ impl Promoter {
             retried += again.len() as u64;
             sys.daemon_bill(CostKind::DaemonOther, backoff);
             backoff = Nanos(backoff.0.saturating_mul(2));
-            let retry = sys.promote_with_demotion(&again, self.config.demote_batch);
+            let retry = sys.promote_with_demotion_uncounted(&again, self.config.demote_batch);
             out.migrated.extend(retry.migrated);
             out.rejected.extend(retry.rejected);
         }
+        sys.note_rejected_migrations(out.rejected.len() as u64);
         let gave_up = out
             .rejected
             .iter()
             .filter(|(_, e)| e.is_transient())
             .count() as u64;
 
+        let stale = (nominated.len() - vpns.len()) as u64;
+        let mut rejected_unsafe = 0u64;
+        let mut rejected_other = 0u64;
+        for (_, err) in &out.rejected {
+            match err {
+                MigrateError::Pinned | MigrateError::NodeBound => rejected_unsafe += 1,
+                _ => rejected_other += 1,
+            }
+        }
         self.stats.promoted += out.migrated.len() as u64;
         self.stats.retried += retried;
         self.stats.gave_up += gave_up;
-        for (_, err) in &out.rejected {
-            match err {
-                MigrateError::Pinned | MigrateError::NodeBound => {
-                    self.stats.rejected_unsafe += 1
-                }
-                _ => self.stats.rejected_other += 1,
-            }
-        }
+        self.stats.rejected_unsafe += rejected_unsafe;
+        self.stats.rejected_other += rejected_other;
         if retried > 0 || gave_up > 0 {
             sys.note_promoter_retries(retried, gave_up);
+        }
+        if sys.telemetry().is_enabled() {
+            let t = sys.telemetry_mut();
+            t.counter_add("m5.promoter", "promoted", out.migrated.len() as u64);
+            t.counter_add("m5.promoter", "stale", stale);
+            t.counter_add("m5.promoter", "rejected-unsafe", rejected_unsafe);
+            t.counter_add("m5.promoter", "rejected-other", rejected_other);
+            t.counter_add("m5.promoter", "retried", retried);
+            t.counter_add("m5.promoter", "gave-up", gave_up);
         }
         out
     }
@@ -216,6 +234,45 @@ mod tests {
         assert!(p.stats().retried > 0, "transient rejects were retried");
         assert_eq!(p.stats().gave_up, 2, "both pages surrendered in the end");
         assert_eq!(p.stats().promoted, 0);
+    }
+
+    #[test]
+    fn overlapping_fault_window_counts_each_rejection_once() {
+        // Regression test: when a DDR-pressure fault window overlaps a
+        // migration epoch, every promotion attempt inside the window fails
+        // with DestinationFull, and the Promoter retries each page
+        // `max_retries` times (each retry round calling the promote+demote
+        // path, which itself re-attempts after demoting). Before the
+        // migrate_page_uncounted/note_rejected_migrations split, every one
+        // of those attempts bumped `MigrationStats::rejected`, so a single
+        // rejected *request* could show up 6+ times in the RunReport /
+        // HealthReport merge. The invariant: one nominated page == at most
+        // one rejected migration.
+        use cxl_sim::faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::none().with(
+            Nanos::ZERO,
+            FaultKind::DdrPressure {
+                duration: Nanos::from_secs(1),
+            },
+        );
+        let mut sys = System::with_fault_plan(SystemConfig::small(), &plan);
+        let r = sys.alloc_region(2, Placement::AllOnCxl).unwrap();
+        let pfns: Vec<Pfn> = r
+            .vpns()
+            .map(|v| sys.page_table().get(v).unwrap().pfn)
+            .collect();
+        // Arm the pressure window.
+        sys.access(r.base, false);
+        let mut p = Promoter::new(PromoterConfig::default());
+        let out = p.promote(&mut sys, &[entry(pfns[0]), entry(pfns[1])]);
+        assert!(out.migrated.is_empty(), "pressure window blocks promotion");
+        assert!(p.stats().retried > 0, "transient rejects were retried");
+        assert_eq!(p.stats().gave_up, 2);
+        assert_eq!(
+            sys.migration_stats().rejected,
+            2,
+            "2 requests rejected must count exactly 2, not once per attempt"
+        );
     }
 
     #[test]

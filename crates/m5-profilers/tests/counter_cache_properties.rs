@@ -1,0 +1,81 @@
+//! Property tests for the SRAM counter cache (§3 scalability mode 1):
+//! counting must stay exact under arbitrary thrashing, occupancy must
+//! respect capacity, and eviction must follow FIFO order.
+
+use m5_profilers::counter_cache::CounterCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache + spill table together always report the exact count, no
+    /// matter how small the cache or how adversarial the access pattern.
+    #[test]
+    fn counting_stays_exact(
+        capacity in 1usize..8,
+        accesses in prop::collection::vec(0u64..32, 1..500),
+    ) {
+        let mut cc = CounterCache::new(capacity);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &idx in &accesses {
+            cc.record(idx);
+            *truth.entry(idx).or_default() += 1;
+            prop_assert!(cc.cached() <= capacity, "occupancy respects capacity");
+        }
+        for (&idx, &want) in &truth {
+            prop_assert_eq!(cc.count(idx), want, "idx {}", idx);
+        }
+        // An index never touched reads zero.
+        prop_assert_eq!(cc.count(999), 0);
+        // Every access is classified exactly once, and only misses can
+        // trigger eviction writebacks.
+        prop_assert_eq!(cc.hits() + cc.misses(), accesses.len() as u64);
+        prop_assert!(cc.writebacks() <= cc.misses());
+        prop_assert!(cc.writebacks() >= cc.misses().saturating_sub(capacity as u64),
+            "all but the resident counters' first misses spilled");
+    }
+
+    /// Hit/miss counters are monotone over the run.
+    #[test]
+    fn hit_and_miss_counters_are_monotone(
+        accesses in prop::collection::vec(0u64..16, 1..200),
+    ) {
+        let mut cc = CounterCache::new(4);
+        let (mut h, mut m) = (0, 0);
+        for &idx in &accesses {
+            cc.record(idx);
+            prop_assert!(cc.hits() >= h && cc.misses() >= m);
+            prop_assert!(cc.hits() - h + cc.misses() - m == 1,
+                "each record is exactly one hit or one miss");
+            h = cc.hits();
+            m = cc.misses();
+        }
+    }
+}
+
+/// Pins the FIFO eviction order: the oldest *inserted* counter is the
+/// victim, regardless of how recently it was hit.
+#[test]
+fn eviction_follows_fifo_insertion_order() {
+    let mut cc = CounterCache::new(2);
+    cc.record(1); // miss, insert 1
+    cc.record(2); // miss, insert 2
+    cc.record(1); // hit — FIFO ignores recency, 1 is still the victim
+    assert_eq!((cc.hits(), cc.misses()), (1, 2));
+
+    cc.record(3); // miss: evicts 1 (oldest insertion), not 2
+    assert_eq!(cc.misses(), 3);
+    cc.record(2); // must still be resident -> hit
+    assert_eq!(cc.hits(), 2, "2 survived the eviction");
+    cc.record(1); // was evicted -> miss, evicts 2 now
+    assert_eq!(cc.misses(), 4);
+    cc.record(3); // still resident -> hit
+    assert_eq!(cc.hits(), 3, "3 survived");
+
+    // Counts remain exact through all of it.
+    assert_eq!(cc.count(1), 3);
+    assert_eq!(cc.count(2), 2);
+    assert_eq!(cc.count(3), 2);
+    assert_eq!(cc.writebacks(), 2, "two evictions spilled to the table");
+}

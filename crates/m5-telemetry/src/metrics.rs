@@ -1,0 +1,337 @@
+//! Metric primitives: counters, gauges, and fixed-geometry log2 histograms.
+//!
+//! Every metric is addressed by a [`MetricKey`]: a `&'static str` name plus
+//! a `&'static str` label (the empty label means "no label"). Static keys
+//! keep the hot recording path allocation-free; anything dynamic (a
+//! degradation message, a fault detail) belongs in an event, not a metric.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A metric's identity: `name` plus an optional dimension `label`
+/// (e.g. `("sim.dram.reads", "cxl")`). The empty label means unlabelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dot-separated by convention (`sim.llc`).
+    pub name: &'static str,
+    /// Dimension label (`"ddr"`, `"hit"`, …) or `""`.
+    pub label: &'static str,
+}
+
+impl MetricKey {
+    /// Builds a key.
+    pub const fn new(name: &'static str, label: &'static str) -> MetricKey {
+        MetricKey { name, label }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.label.is_empty() {
+            f.write_str(self.name)
+        } else {
+            write!(f, "{}{{{}}}", self.name, self.label)
+        }
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: one per possible position of
+/// the highest set bit of a `u64`, plus one for zero.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-size power-of-two histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values whose
+/// highest set bit is `b - 1`, i.e. the half-open range `[2^(b-1), 2^b)`.
+/// Storage is constant (65 buckets) no matter how many samples are
+/// recorded, so a histogram can sit on a per-access hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+/// The bucket index of `v`.
+#[inline]
+pub fn log2_bucket(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The smallest value that falls in bucket `b`.
+pub fn log2_bucket_lower_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram {
+            counts: [0; LOG2_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[log2_bucket(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The largest sample recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.sum as f64 / self.total as f64)
+    }
+
+    /// The approximate `q`-quantile (`q` in `[0, 1]`) as the lower bound of
+    /// the bucket holding that rank, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(log2_bucket_lower_bound(b));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Per-bucket counts (index = bucket).
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+}
+
+/// A point-in-time copy of one histogram's aggregates, cheap to compare
+/// and serialize.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u128,
+    /// Largest sample.
+    pub max: u64,
+    /// Approximate median (bucket lower bound; 0 if empty).
+    pub p50: u64,
+    /// Approximate 99th percentile (bucket lower bound; 0 if empty).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Snapshots `h`.
+    pub fn of(h: &Log2Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            p50: h.quantile(0.50).unwrap_or(0),
+            p99: h.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by key so two
+/// snapshots of identical state compare (and render) identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histogram aggregates.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter value under `name{label}`, or `None` if never written.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.name == name && k.label == label)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge value under `name{label}`, or `None` if never written.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.name == name && k.label == label)
+            .map(|&(_, v)| v)
+    }
+
+    /// The histogram aggregates under `name{label}`, or `None`.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.name == name && k.label == label)
+            .map(|&(_, v)| v)
+    }
+
+    /// Sum of a counter across all labels (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// A human-readable summary table (the "summary sink" format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry snapshot")?;
+        if !self.counters.is_empty() {
+            writeln!(f, "  counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "    {k:<42} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "  gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "    {k:<42} {v:.3}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "  histograms:")?;
+            for (k, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "    {k:<42} n={} p50={} p99={} max={}",
+                    h.count, h.p50, h.p99, h.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An insertion-ordered map of metric values with O(1) amortized lookup.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Registry<V> {
+    slots: Vec<(MetricKey, V)>,
+    index: HashMap<MetricKey, usize>,
+}
+
+impl<V: Default> Registry<V> {
+    pub(crate) fn entry(&mut self, key: MetricKey) -> &mut V {
+        let i = *self.index.entry(key).or_insert_with(|| {
+            self.slots.push((key, V::default()));
+            self.slots.len() - 1
+        });
+        &mut self.slots[i].1
+    }
+
+    pub(crate) fn get(&self, key: &MetricKey) -> Option<&V> {
+        self.index.get(key).map(|&i| &self.slots[i].1)
+    }
+
+    pub(crate) fn sorted(&self) -> Vec<(MetricKey, &V)> {
+        let mut out: Vec<(MetricKey, &V)> =
+            self.slots.iter().map(|(k, v)| (*k, v)).collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+        for b in 0..LOG2_BUCKETS {
+            let lo = log2_bucket_lower_bound(b);
+            assert_eq!(log2_bucket(lo), b, "lower bound of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates_are_exact_where_promised() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 5, 100, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2106);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean().unwrap() - 351.0).abs() < 1.0);
+        // Quantiles are bucket lower bounds: p99 of this set lives in
+        // [512, 1024).
+        assert_eq!(h.quantile(0.99), Some(512));
+        assert_eq!(Log2Histogram::new().quantile(0.5), None);
+        assert_eq!(Log2Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn snapshot_lookup_by_name_and_label() {
+        let snap = MetricsSnapshot {
+            counters: vec![
+                (MetricKey::new("a", "x"), 1),
+                (MetricKey::new("a", "y"), 2),
+                (MetricKey::new("b", ""), 7),
+            ],
+            gauges: vec![(MetricKey::new("g", ""), 1.5)],
+            histograms: Vec::new(),
+        };
+        assert_eq!(snap.counter("a", "x"), Some(1));
+        assert_eq!(snap.counter("a", "z"), None);
+        assert_eq!(snap.counter_total("a"), 3);
+        assert_eq!(snap.gauge("g", ""), Some(1.5));
+        let s = snap.to_string();
+        assert!(s.contains("a{x}"), "{s}");
+        assert!(s.contains("b "), "{s}");
+    }
+
+    #[test]
+    fn key_display_formats() {
+        assert_eq!(MetricKey::new("sim.llc", "hit").to_string(), "sim.llc{hit}");
+        assert_eq!(MetricKey::new("sim.accesses", "").to_string(), "sim.accesses");
+    }
+}

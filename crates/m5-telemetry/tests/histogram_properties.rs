@@ -1,0 +1,59 @@
+//! Property tests for the log2 histogram and the counter registry: the
+//! invariants every instrumented hot path leans on.
+
+use m5_telemetry::{log2_bucket, log2_bucket_lower_bound, Log2Histogram, Telemetry, LOG2_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram totals equal event counts, the sum is exact, the bucket
+    /// counts partition the total, and quantiles stay within range.
+    #[test]
+    fn totals_equal_event_counts(values in prop::collection::vec(any::<u64>(), 0..500)) {
+        let mut h = Log2Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact: u128 = values.iter().map(|&v| v as u128).sum();
+        prop_assert_eq!(h.sum(), exact);
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+        let bucket_total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucket_total, h.count(), "buckets partition the count");
+        if let Some(p50) = h.quantile(0.5) {
+            // A quantile is a bucket lower bound, so it can never exceed
+            // the true max.
+            prop_assert!(p50 <= h.max());
+        } else {
+            prop_assert!(values.is_empty());
+        }
+    }
+
+    /// Every value lands in the bucket whose range contains it.
+    #[test]
+    fn bucket_ranges_contain_their_values(v in any::<u64>()) {
+        let b = log2_bucket(v);
+        prop_assert!(b < LOG2_BUCKETS);
+        prop_assert!(log2_bucket_lower_bound(b) <= v);
+        if b + 1 < LOG2_BUCKETS {
+            prop_assert!(v < log2_bucket_lower_bound(b + 1));
+        }
+    }
+
+    /// Counters through the bus are monotone: adding deltas never makes a
+    /// counter shrink, and the final value is the exact sum.
+    #[test]
+    fn bus_counters_are_monotone_and_exact(deltas in prop::collection::vec(0u64..1 << 32, 1..100)) {
+        let mut t = Telemetry::enabled();
+        let mut prev = 0;
+        for &d in &deltas {
+            t.counter_add("prop.counter", "x", d);
+            let now = t.snapshot().counter("prop.counter", "x").unwrap();
+            prop_assert!(now >= prev, "counter went backwards");
+            prop_assert_eq!(now - prev, d);
+            prev = now;
+        }
+        prop_assert_eq!(prev, deltas.iter().sum::<u64>());
+    }
+}
