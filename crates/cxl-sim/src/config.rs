@@ -50,6 +50,11 @@ pub struct SystemConfig {
     /// Solution 2). `None` disables them. Default: one scheduler timeslice
     /// (1 ms).
     pub tlb_flush_interval: Option<Nanos>,
+    /// Migration watchdog deadline: a migration whose copy phase would wait
+    /// on a stalled CXL controller for longer than this is rolled back
+    /// instead of waiting (retry/backoff is the promoter's job). Default
+    /// 200 µs, a few page-copy times.
+    pub migration_watchdog: Nanos,
 }
 
 impl SystemConfig {
@@ -79,6 +84,7 @@ impl SystemConfig {
             colocated_daemon: true,
             migration_pollutes_cache: true,
             tlb_flush_interval: Some(Nanos::from_millis(1)),
+            migration_watchdog: Nanos::from_micros(200),
         }
     }
 
@@ -97,11 +103,15 @@ impl SystemConfig {
                 size_bytes: 64 << 10,
                 ways: 4,
             },
-            tlb: TlbConfig { entries: 64, ways: 4 },
+            tlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+            },
             costs: CostModel::default(),
             colocated_daemon: true,
             migration_pollutes_cache: true,
             tlb_flush_interval: Some(Nanos::from_millis(1)),
+            migration_watchdog: Nanos::from_micros(200),
         }
     }
 
@@ -121,6 +131,12 @@ impl SystemConfig {
     /// Returns this config with the daemon moved off the application core.
     pub fn with_isolated_daemon(mut self) -> SystemConfig {
         self.colocated_daemon = false;
+        self
+    }
+
+    /// Returns this config with the migration watchdog deadline overridden.
+    pub fn with_migration_watchdog(mut self, deadline: Nanos) -> SystemConfig {
+        self.migration_watchdog = deadline;
         self
     }
 }

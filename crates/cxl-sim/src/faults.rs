@@ -59,11 +59,15 @@ pub enum FaultClass {
     /// DDR allocations fail artificially for a window (external memory
     /// pressure on the fast tier).
     DdrPressure,
+    /// The CXL controller resets mid-migration: in-flight transactions are
+    /// lost and the migration engine is fenced until
+    /// [`crate::system::System::recover`] replays the journal.
+    ControllerReset,
 }
 
 impl FaultClass {
     /// All classes, in display order.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::LatencySpike,
         FaultClass::ControllerStall,
         FaultClass::PoisonedLine,
@@ -72,6 +76,7 @@ impl FaultClass {
         FaultClass::DeviceFailure,
         FaultClass::MigrationCopyFail,
         FaultClass::DdrPressure,
+        FaultClass::ControllerReset,
     ];
 
     fn index(self) -> usize {
@@ -84,6 +89,7 @@ impl FaultClass {
             FaultClass::DeviceFailure => 5,
             FaultClass::MigrationCopyFail => 6,
             FaultClass::DdrPressure => 7,
+            FaultClass::ControllerReset => 8,
         }
     }
 
@@ -98,6 +104,7 @@ impl FaultClass {
             FaultClass::DeviceFailure => "device-failure",
             FaultClass::MigrationCopyFail => "migration-copy-fail",
             FaultClass::DdrPressure => "ddr-pressure",
+            FaultClass::ControllerReset => "controller-reset",
         }
     }
 }
@@ -168,6 +175,17 @@ pub enum FaultKind {
         /// Window length.
         duration: Nanos,
     },
+    /// Reset the CXL controller at migration-journal step `at_step` (the
+    /// first append whose step counter reaches it after the fault arms):
+    /// the in-flight migration dies at exactly that write-ahead boundary
+    /// and the engine is fenced until [`crate::system::System::recover`]
+    /// runs. Journal-step addressing — rather than a timestamp — is what
+    /// lets the crash-point sweep hit *every* transaction state
+    /// deterministically.
+    ControllerReset {
+        /// Journal step index at which the reset strikes.
+        at_step: u64,
+    },
 }
 
 impl FaultKind {
@@ -180,6 +198,7 @@ impl FaultKind {
             FaultKind::Device(d) => d.class(),
             FaultKind::MigrationCopyFail { .. } => FaultClass::MigrationCopyFail,
             FaultKind::DdrPressure { .. } => FaultClass::DdrPressure,
+            FaultKind::ControllerReset { .. } => FaultClass::ControllerReset,
         }
     }
 }
@@ -246,9 +265,7 @@ impl FaultPlan {
                         extra: Nanos(rng.gen_range(100u64..=1_000)),
                         duration: window,
                     },
-                    FaultClass::ControllerStall => {
-                        FaultKind::ControllerStall { duration: window }
-                    }
+                    FaultClass::ControllerStall => FaultKind::ControllerStall { duration: window },
                     FaultClass::PoisonedLine => FaultKind::PoisonLine {
                         reads: rng.gen_range(1u32..=4),
                     },
@@ -256,14 +273,15 @@ impl FaultPlan {
                         slot: rng.gen(),
                         bit: rng.gen_range(0u32..16),
                     }),
-                    FaultClass::CounterSaturation => {
-                        FaultKind::Device(DeviceFault::SramSaturate)
-                    }
+                    FaultClass::CounterSaturation => FaultKind::Device(DeviceFault::SramSaturate),
                     FaultClass::DeviceFailure => FaultKind::Device(DeviceFault::Fail),
                     FaultClass::MigrationCopyFail => FaultKind::MigrationCopyFail {
                         attempts: rng.gen_range(1u32..=8),
                     },
                     FaultClass::DdrPressure => FaultKind::DdrPressure { duration: window },
+                    FaultClass::ControllerReset => FaultKind::ControllerReset {
+                        at_step: rng.gen_range(1u64..=48),
+                    },
                 };
                 schedule.push(ScheduledFault { at, kind });
             }
@@ -299,6 +317,7 @@ pub struct FaultInjector {
     pressure_until: Nanos,
     poison_pending: u32,
     copy_fail_pending: u32,
+    reset_steps: Vec<u64>,
     device_queue: Vec<DeviceFault>,
     log: Vec<FaultEvent>,
     counts: [u64; FaultClass::ALL.len()],
@@ -328,6 +347,7 @@ impl FaultInjector {
             pressure_until: Nanos::ZERO,
             poison_pending: 0,
             copy_fail_pending: 0,
+            reset_steps: Vec::new(),
             device_queue: Vec::new(),
             log: Vec::new(),
             counts: [0; FaultClass::ALL.len()],
@@ -367,6 +387,9 @@ impl FaultInjector {
                 FaultKind::DdrPressure { duration } => {
                     self.pressure_until = self.pressure_until.max(now + duration);
                 }
+                FaultKind::ControllerReset { at_step } => {
+                    self.reset_steps.push(at_step);
+                }
             }
         }
     }
@@ -383,6 +406,43 @@ impl FaultInjector {
     /// Whether the controller is stalled (snoops dropped) at `now`.
     pub fn controller_stalled(&self, now: Nanos) -> bool {
         now < self.stall_until
+    }
+
+    /// How much longer the current controller stall lasts at `now` (zero
+    /// when no stall is active). The migration watchdog compares this to
+    /// its deadline to decide between waiting out the stall and rolling
+    /// the transaction back.
+    pub fn stall_remaining(&self, now: Nanos) -> Nanos {
+        if now < self.stall_until {
+            Nanos(self.stall_until.0 - now.0)
+        } else {
+            Nanos::ZERO
+        }
+    }
+
+    /// Consumes the controller reset armed for the lowest journal step
+    /// index `<= step`, if any. Called by the `System` immediately after
+    /// each journal append; `step` is the post-append step counter.
+    pub fn take_reset(&mut self, step: u64) -> bool {
+        let due = self
+            .reset_steps
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= step)
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i);
+        match due {
+            Some(i) => {
+                self.reset_steps.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any armed controller reset has not yet struck.
+    pub fn reset_pending(&self) -> bool {
+        !self.reset_steps.is_empty()
     }
 
     /// Whether DDR allocations are artificially failing at `now`.
@@ -518,8 +578,18 @@ mod tests {
                     duration: Nanos(50),
                 },
             )
-            .with(Nanos(100), FaultKind::ControllerStall { duration: Nanos(30) })
-            .with(Nanos(100), FaultKind::DdrPressure { duration: Nanos(70) });
+            .with(
+                Nanos(100),
+                FaultKind::ControllerStall {
+                    duration: Nanos(30),
+                },
+            )
+            .with(
+                Nanos(100),
+                FaultKind::DdrPressure {
+                    duration: Nanos(70),
+                },
+            );
         let mut inj = FaultInjector::from_plan(&plan);
         inj.poll(Nanos(99));
         assert_eq!(inj.injected_total(), 0, "nothing due yet");
@@ -569,6 +639,39 @@ mod tests {
         }
         // Sorted by trigger time.
         assert!(a.schedule().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn controller_resets_fire_at_journal_steps() {
+        let plan = FaultPlan::none()
+            .with(Nanos::ZERO, FaultKind::ControllerReset { at_step: 3 })
+            .with(Nanos::ZERO, FaultKind::ControllerReset { at_step: 7 });
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos::ZERO);
+        assert_eq!(inj.count_of(FaultClass::ControllerReset), 2);
+        assert!(inj.reset_pending());
+        assert!(!inj.take_reset(2), "step 2 is before both resets");
+        assert!(inj.take_reset(5), "step 5 consumes the step-3 reset");
+        assert!(inj.reset_pending());
+        assert!(!inj.take_reset(5));
+        assert!(inj.take_reset(7));
+        assert!(!inj.reset_pending());
+        assert!(!inj.take_reset(100));
+    }
+
+    #[test]
+    fn stall_remaining_tracks_the_window() {
+        let plan = FaultPlan::none().with(
+            Nanos(100),
+            FaultKind::ControllerStall {
+                duration: Nanos(40),
+            },
+        );
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos(100));
+        assert_eq!(inj.stall_remaining(Nanos(110)), Nanos(30));
+        assert_eq!(inj.stall_remaining(Nanos(140)), Nanos::ZERO);
+        assert_eq!(inj.stall_remaining(Nanos(90)), Nanos(50));
     }
 
     #[test]

@@ -31,17 +31,21 @@ pub enum CostKind {
     ManagerQuery,
     /// Any other daemon bookkeeping.
     DaemonOther,
+    /// Appending one record to the migration write-ahead journal (a
+    /// cacheline write plus an ordering barrier per state transition).
+    JournalWrite,
 }
 
 impl CostKind {
     /// All categories, in display order.
-    pub const ALL: [CostKind; 6] = [
+    pub const ALL: [CostKind; 7] = [
         CostKind::HintingFault,
         CostKind::TlbShootdown,
         CostKind::PteScan,
         CostKind::Migration,
         CostKind::ManagerQuery,
         CostKind::DaemonOther,
+        CostKind::JournalWrite,
     ];
 
     fn index(self) -> usize {
@@ -52,6 +56,7 @@ impl CostKind {
             CostKind::Migration => 3,
             CostKind::ManagerQuery => 4,
             CostKind::DaemonOther => 5,
+            CostKind::JournalWrite => 6,
         }
     }
 
@@ -65,6 +70,7 @@ impl CostKind {
             CostKind::Migration => "migration",
             CostKind::ManagerQuery => "manager-query",
             CostKind::DaemonOther => "daemon-other",
+            CostKind::JournalWrite => "journal-write",
         }
     }
 }
@@ -106,6 +112,13 @@ pub struct CostModel {
     /// path (isolate the line, re-fetch/zero, resume). Billed only when the
     /// fault injector poisons a CXL read.
     pub poison_repair: Nanos,
+    /// Appending one record to the migration write-ahead journal: a
+    /// cacheline store plus the ordering barrier that makes it durable
+    /// before the next migration step.
+    pub journal_write: Nanos,
+    /// Scrubbing (zero-fill + verify) one quarantined 4 KiB frame before it
+    /// returns to the allocator.
+    pub scrub_per_frame: Nanos,
 }
 
 impl Default for CostModel {
@@ -121,6 +134,8 @@ impl Default for CostModel {
             mmio_reg_access: Nanos(400),
             tracker_query: Nanos(2_000),
             poison_repair: Nanos::from_micros(50),
+            journal_write: Nanos(250),
+            scrub_per_frame: Nanos::from_micros(5),
         }
     }
 }
@@ -128,8 +143,8 @@ impl Default for CostModel {
 /// The kernel-time ledger.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelCosts {
-    by_kind: [Nanos; 6],
-    events: [u64; 6],
+    by_kind: [Nanos; 7],
+    events: [u64; 7],
 }
 
 impl KernelCosts {
@@ -173,9 +188,11 @@ impl KernelCosts {
 
     /// Total kernel time excluding migration itself — the paper's §4.2
     /// "identifying hot pages alone" metric (they disable `migrate_pages()`
-    /// and measure what remains).
+    /// and measure what remains). Journal writes are part of the migration
+    /// machinery, so they are excluded too: disabling `migrate_pages()`
+    /// would eliminate them.
     pub fn identification_total(&self) -> Nanos {
-        self.total() - self.of(CostKind::Migration)
+        self.total() - self.of(CostKind::Migration) - self.of(CostKind::JournalWrite)
     }
 }
 
@@ -220,6 +237,20 @@ mod tests {
         // Migration amortization: cost / (CXL - DDR latency) ≈ 318 accesses.
         let amortize = m.migrate_per_page.0 / (270 - 100);
         assert!((315..=320).contains(&amortize));
+    }
+
+    #[test]
+    fn journal_writes_count_as_migration_machinery() {
+        let mut k = KernelCosts::new();
+        k.bill(CostKind::JournalWrite, Nanos(250));
+        k.bill(CostKind::PteScan, Nanos(15));
+        assert_eq!(k.events_of(CostKind::JournalWrite), 1);
+        assert_eq!(k.total(), Nanos(265));
+        assert_eq!(
+            k.identification_total(),
+            Nanos(15),
+            "journal appends vanish when migrate_pages() is disabled"
+        );
     }
 
     #[test]

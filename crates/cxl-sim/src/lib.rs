@@ -18,7 +18,9 @@
 //!   (PAC, WAC, HPT, HWT — implemented in the `m5-profilers` and `m5-core`
 //!   crates) observe every access to CXL DRAM,
 //! * a page-migration engine ([`migration`]) with the cost model of Linux
-//!   `migrate_pages()`,
+//!   `migrate_pages()`, made crash-consistent by a write-ahead migration
+//!   journal ([`journal`]) whose transactions can be rolled back or
+//!   replayed after a controller reset ([`system::System::recover`]),
 //! * a Multi-Generational LRU ([`mglru`]) used to pick demotion victims,
 //! * a deterministic fault injector ([`faults`]) that schedules CXL latency
 //!   spikes, controller stalls, poisoned lines, SRAM counter corruption,
@@ -60,6 +62,7 @@ pub mod config;
 pub mod controller;
 pub mod faults;
 pub mod hotlog;
+pub mod journal;
 pub mod kernel;
 pub mod memory;
 pub mod mglru;
@@ -77,7 +80,7 @@ pub use m5_telemetry as telemetry;
 /// Convenience re-exports of the types needed to assemble and drive a system.
 pub mod prelude {
     pub use crate::addr::{
-        CacheLineAddr, PhysAddr, Pfn, VirtAddr, Vpn, WordIndex, PAGE_SIZE, WORDS_PER_PAGE,
+        CacheLineAddr, Pfn, PhysAddr, VirtAddr, Vpn, WordIndex, PAGE_SIZE, WORDS_PER_PAGE,
         WORD_SIZE,
     };
     pub use crate::cache::LlcConfig;
@@ -85,6 +88,9 @@ pub mod prelude {
     pub use crate::controller::{CxlDevice, DeviceHandle};
     pub use crate::faults::{
         DeviceFault, FaultClass, FaultEvent, FaultKind, FaultPlan, ScheduledFault, SimError,
+    };
+    pub use crate::journal::{
+        JournalCounters, MigrationJournal, MigrationTxn, RecoveryReport, TxnId, TxnState,
     };
     pub use crate::kernel::{CostKind, KernelCosts};
     pub use crate::memory::NodeId;

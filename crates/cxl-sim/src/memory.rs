@@ -99,6 +99,9 @@ pub struct MemoryNode {
     config: NodeConfig,
     /// Stack of free frame indices (relative to `base_pfn`).
     free: Vec<u64>,
+    /// Frame indices pulled out of circulation after a fault mid-copy;
+    /// they return to `free` only via [`MemoryNode::scrub`].
+    quarantined: Vec<u64>,
     allocated: u64,
 }
 
@@ -116,6 +119,7 @@ impl MemoryNode {
             base_pfn,
             config,
             free,
+            quarantined: Vec::new(),
             allocated: 0,
         }
     }
@@ -140,9 +144,27 @@ impl MemoryNode {
         self.allocated
     }
 
-    /// Number of frames currently free.
+    /// Number of frames currently free (quarantined frames are *not* free:
+    /// capacity = free + allocated + quarantined).
     pub fn free_frames(&self) -> u64 {
-        self.config.capacity_frames - self.allocated
+        self.config.capacity_frames - self.allocated - self.quarantined.len() as u64
+    }
+
+    /// Number of frames currently quarantined.
+    pub fn quarantined_frames(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// The free frames, as absolute PFNs (invariant-checker support).
+    pub fn free_pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.free.iter().map(move |&idx| Pfn(self.base_pfn + idx))
+    }
+
+    /// The quarantined frames, as absolute PFNs.
+    pub fn quarantined_pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.quarantined
+            .iter()
+            .map(move |&idx| Pfn(self.base_pfn + idx))
     }
 
     /// Allocates one frame.
@@ -168,7 +190,11 @@ impl MemoryNode {
     /// corrupting the free stack (pushing an out-of-range index would later
     /// hand out frames that do not exist).
     pub fn free(&mut self, pfn: Pfn) {
-        debug_assert_eq!(NodeId::of_pfn(pfn), self.id, "freeing {pfn:?} on wrong node");
+        debug_assert_eq!(
+            NodeId::of_pfn(pfn),
+            self.id,
+            "freeing {pfn:?} on wrong node"
+        );
         let idx = pfn.0.wrapping_sub(self.base_pfn);
         debug_assert!(idx < self.config.capacity_frames, "{pfn:?} out of range");
         if NodeId::of_pfn(pfn) != self.id || idx >= self.config.capacity_frames {
@@ -176,6 +202,39 @@ impl MemoryNode {
         }
         self.allocated -= 1;
         self.free.push(idx);
+    }
+
+    /// Moves an *allocated* frame into quarantine instead of freeing it:
+    /// the copy engine faulted on it and its contents are suspect, so it
+    /// must not be handed out again until a scrub pass clears it.
+    ///
+    /// Same bogus-input policy as [`MemoryNode::free`]: wrong-node or
+    /// out-of-range frames trip a `debug_assert!` and are dropped in
+    /// release builds.
+    pub fn quarantine(&mut self, pfn: Pfn) {
+        debug_assert_eq!(
+            NodeId::of_pfn(pfn),
+            self.id,
+            "quarantining {pfn:?} on wrong node"
+        );
+        let idx = pfn.0.wrapping_sub(self.base_pfn);
+        debug_assert!(idx < self.config.capacity_frames, "{pfn:?} out of range");
+        if NodeId::of_pfn(pfn) != self.id || idx >= self.config.capacity_frames {
+            return;
+        }
+        self.allocated -= 1;
+        self.quarantined.push(idx);
+    }
+
+    /// Scrubs up to `max` quarantined frames, returning them to the free
+    /// list. Returns how many frames were scrubbed. Oldest quarantined
+    /// frames are scrubbed first.
+    pub fn scrub(&mut self, max: u64) -> u64 {
+        let n = (max as usize).min(self.quarantined.len());
+        for idx in self.quarantined.drain(..n) {
+            self.free.push(idx);
+        }
+        n as u64
     }
 }
 
@@ -223,6 +282,11 @@ impl TieredMemory {
     /// Frees `pfn` on whichever node owns it.
     pub fn free(&mut self, pfn: Pfn) {
         self.node_mut(NodeId::of_pfn(pfn)).free(pfn);
+    }
+
+    /// Quarantines `pfn` on whichever node owns it.
+    pub fn quarantine(&mut self, pfn: Pfn) {
+        self.node_mut(NodeId::of_pfn(pfn)).quarantine(pfn);
     }
 
     /// Read latency of an access to `pfn`'s node.
@@ -291,6 +355,48 @@ mod tests {
         mem.free(c);
         assert_eq!(mem.node(NodeId::Ddr).allocated_frames(), 0);
         assert_eq!(mem.node(NodeId::Cxl).allocated_frames(), 0);
+    }
+
+    #[test]
+    fn quarantined_frames_leave_circulation_until_scrubbed() {
+        let mut node = MemoryNode::new(NodeId::Cxl, cfg(2, 270));
+        let a = node.alloc().unwrap();
+        let _b = node.alloc().unwrap();
+        node.quarantine(a);
+        assert_eq!(node.quarantined_frames(), 1);
+        assert_eq!(node.allocated_frames(), 1);
+        assert_eq!(node.free_frames(), 0);
+        assert!(
+            node.alloc().is_err(),
+            "quarantined frame must not be handed out"
+        );
+        assert_eq!(node.quarantined_pfns().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(node.scrub(8), 1);
+        assert_eq!(node.quarantined_frames(), 0);
+        assert_eq!(node.free_frames(), 1);
+        assert_eq!(node.alloc().unwrap(), a, "scrubbed frame is reusable");
+    }
+
+    #[test]
+    fn scrub_is_bounded_and_oldest_first() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(4, 100));
+        let a = node.alloc().unwrap();
+        let b = node.alloc().unwrap();
+        let c = node.alloc().unwrap();
+        node.quarantine(a);
+        node.quarantine(b);
+        node.quarantine(c);
+        assert_eq!(node.scrub(2), 2);
+        assert_eq!(node.quarantined_pfns().collect::<Vec<_>>(), vec![c]);
+        assert_eq!(node.scrub(2), 1);
+        assert_eq!(node.scrub(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn quarantining_on_wrong_node_panics() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(4, 100));
+        node.quarantine(Pfn(CXL_BASE_PFN));
     }
 
     #[test]

@@ -175,7 +175,7 @@ mod tests {
         lru.age(&mut pt);
         assert_eq!(lru.gen_len(0), 1); // page 0 refreshed
         assert_eq!(lru.gen_len(2), 1); // page 1 aged further
-        // The accessed bit was consumed by the aging pass.
+                                       // The accessed bit was consumed by the aging pass.
         assert!(!pt.test_and_clear_accessed(Vpn(0)));
     }
 

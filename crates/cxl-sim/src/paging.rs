@@ -260,7 +260,8 @@ impl PageTable {
 
     /// Iterates over mapped pages currently resident on `node`.
     pub fn pages_on(&self, node: NodeId) -> impl Iterator<Item = (Vpn, &Pte)> + '_ {
-        self.iter_mapped().filter(move |(_, pte)| pte.node() == node)
+        self.iter_mapped()
+            .filter(move |(_, pte)| pte.node() == node)
     }
 }
 

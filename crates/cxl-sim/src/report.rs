@@ -296,7 +296,18 @@ mod tests {
     #[test]
     fn bucket_roundtrip_is_monotone_and_tight() {
         let mut prev = 0;
-        for ns in [0u64, 1, 63, 64, 65, 100, 1000, 54_000, 1_000_000, u32::MAX as u64] {
+        for ns in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1000,
+            54_000,
+            1_000_000,
+            u32::MAX as u64,
+        ] {
             let b = bucket_of(ns);
             let lo = bucket_lower_bound(b);
             assert!(lo <= ns, "lower bound {lo} > value {ns}");
@@ -354,7 +365,9 @@ mod tests {
         k.bill(CostKind::Migration, Nanos(54_000));
         let rows = kernel_breakdown(&k);
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().any(|&(kind, t)| kind == CostKind::PteScan && t == Nanos(30)));
+        assert!(rows
+            .iter()
+            .any(|&(kind, t)| kind == CostKind::PteScan && t == Nanos(30)));
         assert_eq!(identification_cost(&k), Nanos(30));
     }
 
@@ -371,7 +384,10 @@ mod tests {
     fn clean_health_is_invisible_in_display() {
         let r = dummy_report(1_000_000);
         assert!(r.health.is_clean());
-        assert!(!r.to_string().contains("health:"), "clean runs show no health section");
+        assert!(
+            !r.to_string().contains("health:"),
+            "clean runs show no health section"
+        );
         let mut faulty = dummy_report(1_000_000);
         faulty.health.faults_injected = 3;
         faulty.health.fault_counts = vec![(FaultClass::PoisonedLine, 2)];

@@ -30,7 +30,10 @@ impl TlbConfig {
 
     /// A tiny TLB for unit tests.
     pub fn tiny() -> TlbConfig {
-        TlbConfig { entries: 8, ways: 2 }
+        TlbConfig {
+            entries: 8,
+            ways: 2,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.ways > 0 && config.entries > 0);
-        assert_eq!(config.entries % config.ways, 0, "entries must be a multiple of ways");
+        assert_eq!(
+            config.entries % config.ways,
+            0,
+            "entries must be a multiple of ways"
+        );
         let n_sets = config.entries / config.ways;
         Tlb {
             sets: vec![Vec::with_capacity(config.ways); n_sets],
@@ -194,6 +201,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 7, ways: 2 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 7,
+            ways: 2,
+        });
     }
 }

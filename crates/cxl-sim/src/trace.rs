@@ -119,7 +119,11 @@ pub struct DecodeTraceError {
 
 impl std::fmt::Display for DecodeTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace buffer length {} is not a multiple of 16", self.len)
+        write!(
+            f,
+            "trace buffer length {} is not a multiple of 16",
+            self.len
+        )
     }
 }
 

@@ -33,13 +33,17 @@ impl AccessStream for UniformStream {
         self.remaining -= 1;
         let page = self.rng.gen_range(0..PAGES);
         let word = self.rng.gen_range(0u64..64) * 64;
-        Some(Access::read(self.base.offset(page * PAGE_SIZE as u64 + word)))
+        Some(Access::read(
+            self.base.offset(page * PAGE_SIZE as u64 + word),
+        ))
     }
 }
 
 fn fresh_system(plan: &FaultPlan) -> (System, UniformStream) {
     let mut sys = System::with_fault_plan(
-        SystemConfig::small().with_cxl_frames(256).with_ddr_frames(128),
+        SystemConfig::small()
+            .with_cxl_frames(256)
+            .with_ddr_frames(128),
         plan,
     );
     let region = sys.alloc_region(PAGES, Placement::AllOnCxl).unwrap();
@@ -92,7 +96,9 @@ fn empty_plan_matches_plain_construction() {
     let baseline = run_with(&FaultPlan::none());
     let (mut sys, mut wl) = {
         let mut sys = System::new(
-            SystemConfig::small().with_cxl_frames(256).with_ddr_frames(128),
+            SystemConfig::small()
+                .with_cxl_frames(256)
+                .with_ddr_frames(128),
         );
         let region = sys.alloc_region(PAGES, Placement::AllOnCxl).unwrap();
         let wl = UniformStream {
@@ -187,20 +193,23 @@ fn device_failure_reaches_attached_devices() {
 
 #[test]
 fn copy_failure_is_a_transient_rejection() {
-    let plan = FaultPlan::none().with(
-        Nanos::ZERO,
-        FaultKind::MigrationCopyFail { attempts: 2 },
-    );
+    let plan = FaultPlan::none().with(Nanos::ZERO, FaultKind::MigrationCopyFail { attempts: 2 });
     let (mut sys, _) = fresh_system(&plan);
     let err = sys.migrate_page(Vpn(0), NodeId::Ddr).unwrap_err();
-    assert_eq!(err, MigrateError::CopyFailed);
+    assert!(matches!(err, MigrateError::Copy { .. }));
     assert!(err.is_transient());
     let err = sys.migrate_page(Vpn(0), NodeId::Ddr).unwrap_err();
-    assert_eq!(err, MigrateError::CopyFailed);
+    assert!(matches!(err, MigrateError::Copy { .. }));
+    // Each failed copy quarantined its shadow frame on the destination.
+    assert_eq!(sys.quarantined_frames(NodeId::Ddr), 2);
     // The budget of two failed attempts is spent; the third succeeds.
     sys.migrate_page(Vpn(0), NodeId::Ddr).unwrap();
     assert_eq!(sys.migration_stats().rejected, 2);
     assert_eq!(sys.migration_stats().promotions, 1);
+    assert!(sys.check_invariants().is_empty());
+    // Scrubbing returns both poisoned frames to the allocator.
+    assert_eq!(sys.scrub_quarantine(16), 2);
+    assert_eq!(sys.quarantined_frames(NodeId::Ddr), 0);
 }
 
 #[test]
@@ -213,7 +222,7 @@ fn ddr_pressure_rejects_promotions_until_it_clears() {
     );
     let (mut sys, _) = fresh_system(&plan);
     let err = sys.migrate_page(Vpn(0), NodeId::Ddr).unwrap_err();
-    assert!(matches!(err, MigrateError::DestinationFull(_)));
+    assert!(matches!(err, MigrateError::NoFreeFrame(_)));
     assert!(err.is_transient());
     // Demotions to CXL are unaffected by DDR pressure, and once simulated
     // time passes the window the promotion goes through.

@@ -1,0 +1,131 @@
+//! Property tests for the transactional migration engine: arbitrary
+//! interleavings of migrations, demotions, aging, accesses, and injected
+//! faults (copy failures, controller resets) must never leak a frame,
+//! double-map a frame, or lose one from quarantine — checked by running
+//! [`System::check_invariants`] after every step — and quarantine scrubbing
+//! must eventually return every poisoned frame to the allocator.
+
+use cxl_sim::prelude::*;
+use proptest::prelude::*;
+
+const PAGES: u64 = 32;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Try to promote page `i % PAGES` to DDR.
+    Promote(u64),
+    /// Try to demote page `i % PAGES` to CXL.
+    Demote(u64),
+    /// Promote with demotion-for-room, the Promoter's batch path.
+    PromoteBatch(u64),
+    /// One MGLRU aging pass.
+    Age,
+    /// Touch a byte of page `i % PAGES` (advances the clock).
+    Access(u64),
+    /// Arm `1 + n % 3` migration copy failures.
+    InjectCopyFail(u8),
+    /// Arm a controller reset `1 + n % 6` journal steps in the future.
+    InjectReset(u8),
+    /// Replay the journal.
+    Recover,
+    /// Scrub up to 4 quarantined frames per node.
+    Scrub,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u64>().prop_map(Op::Promote),
+        3 => any::<u64>().prop_map(Op::Demote),
+        2 => any::<u64>().prop_map(Op::PromoteBatch),
+        1 => Just(Op::Age),
+        4 => any::<u64>().prop_map(Op::Access),
+        2 => any::<u8>().prop_map(Op::InjectCopyFail),
+        2 => any::<u8>().prop_map(Op::InjectReset),
+        2 => Just(Op::Recover),
+        2 => Just(Op::Scrub),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_never_leak_or_double_map(
+        ops in prop::collection::vec(op_strategy(), 1..100)
+    ) {
+        // DDR deliberately smaller than the region so promotions hit
+        // capacity pressure and the demotion-for-room path.
+        let mut sys = System::new(
+            SystemConfig::small().with_ddr_frames(12).with_cxl_frames(64),
+        );
+        let region = sys.alloc_region(PAGES, Placement::AllOnCxl).unwrap();
+        let vpns: Vec<Vpn> = region.vpns().collect();
+
+        for op in &ops {
+            match op {
+                Op::Promote(i) => {
+                    let _ = sys.migrate_page(vpns[(*i % PAGES) as usize], NodeId::Ddr);
+                }
+                Op::Demote(i) => {
+                    let _ = sys.migrate_page(vpns[(*i % PAGES) as usize], NodeId::Cxl);
+                }
+                Op::PromoteBatch(i) => {
+                    let _ = sys.promote_with_demotion(&[vpns[(*i % PAGES) as usize]], 2);
+                }
+                Op::Age => {
+                    sys.mglru_age();
+                }
+                Op::Access(i) => {
+                    sys.access(region.base.offset((*i % PAGES) * PAGE_SIZE as u64), false);
+                }
+                Op::InjectCopyFail(n) => {
+                    sys.install_fault_plan(&FaultPlan::none().with(
+                        Nanos::ZERO,
+                        FaultKind::MigrationCopyFail {
+                            attempts: 1 + u32::from(*n) % 3,
+                        },
+                    ));
+                }
+                Op::InjectReset(n) => {
+                    let at_step = sys.journal().steps() + 1 + u64::from(*n) % 6;
+                    sys.install_fault_plan(&FaultPlan::none().with(
+                        Nanos::ZERO,
+                        FaultKind::ControllerReset { at_step },
+                    ));
+                }
+                Op::Recover => {
+                    let _ = sys.recover();
+                }
+                Op::Scrub => {
+                    sys.scrub_quarantine(4);
+                }
+            }
+            let violations = sys.check_invariants();
+            prop_assert!(violations.is_empty(), "after {op:?}: {violations:?}");
+        }
+
+        // Drain: recovery closes any fenced transaction, and repeated
+        // scrubbing must return every quarantined frame to the allocator.
+        sys.recover();
+        let mut rounds = 0;
+        while sys.quarantined_frames(NodeId::Ddr) + sys.quarantined_frames(NodeId::Cxl) > 0 {
+            prop_assert!(sys.scrub_quarantine(8) > 0, "scrub stopped making progress");
+            rounds += 1;
+            prop_assert!(rounds < 1_000, "quarantine never drained");
+        }
+        let violations = sys.check_invariants();
+        prop_assert!(violations.is_empty(), "after drain: {violations:?}");
+
+        // No frame leaked: with the journal empty and quarantine drained,
+        // every node's frames are exactly free + mapped.
+        prop_assert!(sys.journal().open().is_empty());
+        for node in NodeId::ALL {
+            let mapped = sys
+                .page_table()
+                .iter_mapped()
+                .filter(|(_, pte)| pte.node() == node)
+                .count() as u64;
+            prop_assert_eq!(sys.nr_pages(node), mapped, "{} allocated != mapped", node);
+        }
+    }
+}

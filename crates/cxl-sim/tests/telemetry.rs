@@ -183,7 +183,9 @@ fn snapshot_exactly_reproduces_run_report() {
         .sum();
     assert_eq!(lat_total, report.accesses);
     assert_eq!(
-        snap.histogram("sim.op.latency", "").map(|h| h.count).unwrap_or(0),
+        snap.histogram("sim.op.latency", "")
+            .map(|h| h.count)
+            .unwrap_or(0),
         report.op_latency.count()
     );
 }
@@ -217,8 +219,7 @@ fn fault_windows_trace_as_spans() {
         );
         assert!(
             window_events.iter().any(|e| {
-                e.label == label
-                    && matches!(e.kind, cxl_sim::telemetry::EventKind::SpanEnd { .. })
+                e.label == label && matches!(e.kind, cxl_sim::telemetry::EventKind::SpanEnd { .. })
             }),
             "missing span end for {label}"
         );

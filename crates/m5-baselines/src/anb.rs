@@ -265,9 +265,7 @@ mod tests {
                 self.rng.gen_range(self.hot..self.region.pages)
             };
             let off = self.rng.gen_range(0u64..64) * 64;
-            Some(Access::read(
-                self.region.base.offset(page * 4096 + off),
-            ))
+            Some(Access::read(self.region.base.offset(page * 4096 + off)))
         }
     }
 
@@ -299,13 +297,7 @@ mod tests {
         assert!(!anb.hot_log().is_empty());
         // The hammered pages end up on DDR.
         let on_ddr = (0..8)
-            .filter(|&p| {
-                sys.page_table()
-                    .get(Vpn(p))
-                    .unwrap()
-                    .node()
-                    == NodeId::Ddr
-            })
+            .filter(|&p| sys.page_table().get(Vpn(p)).unwrap().node() == NodeId::Ddr)
             .count();
         assert!(on_ddr >= 6, "only {on_ddr}/8 hot pages promoted");
     }

@@ -198,10 +198,13 @@ impl Damon {
 
     /// The DAMOS action: promote slow-tier pages of hot regions.
     fn apply_scheme(&mut self, sys: &mut System) {
-        let hot_min =
-            (self.config.hot_fraction * self.config.aggr_samples as f64).ceil() as u32;
+        let hot_min = (self.config.hot_fraction * self.config.aggr_samples as f64).ceil() as u32;
         let mut order: Vec<usize> = (0..self.regions.len()).collect();
-        order.sort_by(|&a, &b| self.regions[b].nr_accesses.cmp(&self.regions[a].nr_accesses));
+        order.sort_by(|&a, &b| {
+            self.regions[b]
+                .nr_accesses
+                .cmp(&self.regions[a].nr_accesses)
+        });
 
         let mut batch: Vec<Vpn> = Vec::with_capacity(self.config.quota_pages);
         let per_pte = sys.config().costs.pte_scan_per_entry;
@@ -357,8 +360,11 @@ mod tests {
         // TLB miss and their accessed bits are never set — DAMON would be
         // structurally blind (the paper's warm-page pathology taken to the
         // extreme).
-        let mut sys =
-            System::new(SystemConfig::small().with_cxl_frames(1024).with_ddr_frames(512));
+        let mut sys = System::new(
+            SystemConfig::small()
+                .with_cxl_frames(1024)
+                .with_ddr_frames(512),
+        );
         let region = sys.alloc_region(1024, Placement::AllOnCxl).unwrap();
         let wl = SkewedStream {
             region,

@@ -289,7 +289,8 @@ mod tests {
                 self.rng.gen_range(self.hot..self.pages)
             };
             Some(Access::read(
-                self.base.offset(page * 4096 + self.rng.gen_range(0u64..64) * 64),
+                self.base
+                    .offset(page * 4096 + self.rng.gen_range(0u64..64) * 64),
             ))
         }
     }
@@ -319,8 +320,11 @@ mod tests {
 
     #[test]
     fn sampler_promotes_hot_pages() {
-        let mut sys =
-            System::new(SystemConfig::small().with_cxl_frames(512).with_ddr_frames(256));
+        let mut sys = System::new(
+            SystemConfig::small()
+                .with_cxl_frames(512)
+                .with_ddr_frames(256),
+        );
         let region = sys.alloc_region(256, Placement::AllOnCxl).unwrap();
         let mut wl = SkewedStream {
             base: region.base,
@@ -339,9 +343,7 @@ mod tests {
         assert!(pebs.interrupts() > 0);
         assert!(pebs.samples_processed() > 100);
         let hot_on_ddr = (0..8)
-            .filter(|&p| {
-                sys.page_table().get(cxl_sim::addr::Vpn(p)).unwrap().node() == NodeId::Ddr
-            })
+            .filter(|&p| sys.page_table().get(cxl_sim::addr::Vpn(p)).unwrap().node() == NodeId::Ddr)
             .count();
         assert!(hot_on_ddr >= 6, "only {hot_on_ddr}/8 promoted");
     }
@@ -349,8 +351,11 @@ mod tests {
     #[test]
     fn sparser_sampling_is_less_precise_but_cheaper() {
         let run_with_period = |period: u64| {
-            let mut sys =
-                System::new(SystemConfig::small().with_cxl_frames(512).with_ddr_frames(256));
+            let mut sys = System::new(
+                SystemConfig::small()
+                    .with_cxl_frames(512)
+                    .with_ddr_frames(256),
+            );
             let region = sys.alloc_region(256, Placement::AllOnCxl).unwrap();
             let mut wl = SkewedStream {
                 base: region.base,
@@ -379,8 +384,11 @@ mod tests {
 
     #[test]
     fn record_only_never_migrates() {
-        let mut sys =
-            System::new(SystemConfig::small().with_cxl_frames(512).with_ddr_frames(256));
+        let mut sys = System::new(
+            SystemConfig::small()
+                .with_cxl_frames(512)
+                .with_ddr_frames(256),
+        );
         let region = sys.alloc_region(128, Placement::AllOnCxl).unwrap();
         let mut wl = SkewedStream {
             base: region.base,

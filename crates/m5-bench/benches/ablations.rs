@@ -40,7 +40,10 @@ fn run_custom(
 }
 
 fn main() {
-    banner("Ablations", "isolating the design choices DESIGN.md calls out");
+    banner(
+        "Ablations",
+        "isolating the design choices DESIGN.md calls out",
+    );
     let accesses = access_budget_from_args();
 
     // 1. Migration cache pollution.
@@ -140,8 +143,7 @@ fn main() {
     println!("\n[5] IFMM (flat memory mode) vs page migration vs hybrid (fast-hit fraction)");
     for bench in [Benchmark::Redis, Benchmark::CactuBssn] {
         let spec = bench.spec();
-        let trace =
-            m5_bench::collect_trace(&spec, accesses.min(2_000_000), accesses as usize, 21);
+        let trace = m5_bench::collect_trace(&spec, accesses.min(2_000_000), accesses as usize, 21);
         let cmp = m5_baselines::ifmm::compare(&trace, (spec.footprint_pages / 2) as usize);
         println!(
             "  {:>8}: ifmm {:.3} | oracle paging {:.3} | hybrid {:.3} | swaps {}",
@@ -207,7 +209,12 @@ fn main() {
     // Reference points.
     println!("\n[ref] no migration");
     for bench in [Benchmark::Roms, Benchmark::Redis] {
-        let r = run_custom(bench, accesses, SystemConfig::scaled_default(), &mut NoMigration);
+        let r = run_custom(
+            bench,
+            accesses,
+            SystemConfig::scaled_default(),
+            &mut NoMigration,
+        );
         println!("  {:>8}: total {}", bench.label(), r.total_time);
     }
 }

@@ -13,7 +13,10 @@
 
 use m5_baselines::anb::{Anb, AnbConfig};
 use m5_baselines::damon::{Damon, DamonConfig};
-use m5_bench::{access_budget_from_args, attach_pac, banner, geomean, k_for, main_benchmarks, run_ratio_protocol, standard_system};
+use m5_bench::{
+    access_budget_from_args, attach_pac, banner, geomean, k_for, main_benchmarks,
+    run_ratio_protocol, standard_system,
+};
 
 const POINTS: usize = 10;
 
@@ -23,7 +26,10 @@ fn main() {
         "average access-count ratio of ANB / DAMON hot pages vs PAC top-K",
     );
     let accesses = access_budget_from_args();
-    println!("{:>8} | {:>26} | {:>26}", "bench", "ANB mean [min,max]", "DAMON mean [min,max]");
+    println!(
+        "{:>8} | {:>26} | {:>26}",
+        "bench", "ANB mean [min,max]", "DAMON mean [min,max]"
+    );
     println!("{:-<8}-+-{:-<26}-+-{:-<26}", "", "", "");
 
     let mut anb_means = Vec::new();

@@ -93,7 +93,12 @@ fn main() {
     // §7.1's side note: sweeping the hash-row count H from 2 to 16 (at
     // fixed N = H × W) has only a secondary effect on precision.
     println!("\n--- H sweep at N = 32K (mcf trace, HPT) ---");
-    let trace = collect_trace(&Benchmark::Mcf.spec(), accesses, (accesses as usize).min(8_000_000), 7);
+    let trace = collect_trace(
+        &Benchmark::Mcf.spec(),
+        accesses,
+        (accesses as usize).min(8_000_000),
+        7,
+    );
     print!("{:>10}", "H");
     for h in [2usize, 4, 8, 16] {
         print!(" {h:>8}");

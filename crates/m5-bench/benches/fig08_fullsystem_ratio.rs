@@ -10,7 +10,10 @@
 
 use m5_baselines::anb::{Anb, AnbConfig};
 use m5_baselines::damon::{Damon, DamonConfig};
-use m5_bench::{access_budget_from_args, attach_pac, banner, k_for, main_benchmarks, run_ratio_protocol, standard_system};
+use m5_bench::{
+    access_budget_from_args, attach_pac, banner, k_for, main_benchmarks, run_ratio_protocol,
+    standard_system,
+};
 use m5_core::manager::M5Manager;
 use m5_core::policy;
 
@@ -70,9 +73,16 @@ fn main() {
             let pac = attach_pac(&mut sys);
             let mut wl = trace.fresh();
             let mut anb = Anb::new(AnbConfig::record_only());
-            let r = run_ratio_protocol(&mut sys, &mut wl, &mut anb, pac, k, accesses, POINTS, |d: &Anb| {
-                d.hot_log().pfns().collect()
-            });
+            let r = run_ratio_protocol(
+                &mut sys,
+                &mut wl,
+                &mut anb,
+                pac,
+                k,
+                accesses,
+                POINTS,
+                |d: &Anb| d.hot_log().pfns().collect(),
+            );
             cpu_best = cpu_best.max(r.mean());
         }
         {

@@ -69,7 +69,12 @@ fn main() {
         for which in 0..5 {
             let report = match which {
                 0 => run_with(bench, &trace, accesses, &mut Anb::new(AnbConfig::default())),
-                1 => run_with(bench, &trace, accesses, &mut Damon::new(DamonConfig::default())),
+                1 => run_with(
+                    bench,
+                    &trace,
+                    accesses,
+                    &mut Damon::new(DamonConfig::default()),
+                ),
                 2 => run_with(
                     bench,
                     &trace,

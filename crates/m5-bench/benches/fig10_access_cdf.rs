@@ -11,11 +11,23 @@ use m5_bench::{access_budget_from_args, attach_pac, banner, main_benchmarks, sta
 use m5_profilers::pac::Pac;
 
 fn main() {
-    banner("Figure 10", "CDF of per-page access counts (PAC, log10 bins)");
+    banner(
+        "Figure 10",
+        "CDF of per-page access counts (PAC, log10 bins)",
+    );
     let accesses = access_budget_from_args();
     println!(
         "{:>8} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8}",
-        "bench", "<=1e0", "<=1e1", "<=1e2", "<=1e3", "<=1e4", "<=1e5", "p90/p50", "p95/p50", "p99/p50"
+        "bench",
+        "<=1e0",
+        "<=1e1",
+        "<=1e2",
+        "<=1e3",
+        "<=1e4",
+        "<=1e5",
+        "p90/p50",
+        "p95/p50",
+        "p99/p50"
     );
     println!("{:-<92}", "");
     for bench in main_benchmarks() {

@@ -78,7 +78,13 @@ fn main() {
             let trace = merged_trace(bench, instances, per_instance);
             let mut tracker = CmSketchTopK::with_total_entries(4, 32 * 1024, K, 13);
             // Same ×50 epoch scaling as Figure 7 (see that harness).
-            let r = epoch_ratio(&trace, |l| l.pfn().0, &mut tracker, K, Nanos::from_millis(50));
+            let r = epoch_ratio(
+                &trace,
+                |l| l.pfn().0,
+                &mut tracker,
+                K,
+                Nanos::from_millis(50),
+            );
             print!(" {r:>7.3}");
         }
         println!();

@@ -71,8 +71,16 @@ fn measure(bench: Benchmark, accesses: u64) -> Row {
         damon_kernel_pct: kernel_pct(2),
         anb_slowdown_pct: slowdown_pct(1),
         damon_slowdown_pct: slowdown_pct(2),
-        anb_p99_pct: if bench.scored_by_p99() { p99_pct(1) } else { None },
-        damon_p99_pct: if bench.scored_by_p99() { p99_pct(2) } else { None },
+        anb_p99_pct: if bench.scored_by_p99() {
+            p99_pct(1)
+        } else {
+            None
+        },
+        damon_p99_pct: if bench.scored_by_p99() {
+            p99_pct(2)
+        } else {
+            None
+        },
     }
 }
 

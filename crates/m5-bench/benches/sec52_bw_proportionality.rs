@@ -39,8 +39,7 @@ fn main() {
             .expect("both nodes sized to fit");
         let mut wl = spec.build(region.base, accesses, 6);
         let report = cxl_sim::system::run(&mut sys, &mut wl, &mut NoMigration, u64::MAX);
-        let pages_ratio =
-            sys.nr_pages(NodeId::Ddr) as f64 / sys.nr_pages(NodeId::Cxl) as f64;
+        let pages_ratio = sys.nr_pages(NodeId::Ddr) as f64 / sys.nr_pages(NodeId::Cxl) as f64;
         let bw_ratio =
             report.reads_on(NodeId::Ddr) as f64 / report.reads_on(NodeId::Cxl).max(1) as f64;
         println!(

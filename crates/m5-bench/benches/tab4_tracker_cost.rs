@@ -8,7 +8,10 @@ use m5_bench::banner;
 use m5_trackers::cost::{CostModel, Technology, TrackerKind, TABLE4_PUBLISHED};
 
 fn main() {
-    banner("Table 4", "size and power of top-5 trackers (published vs model)");
+    banner(
+        "Table 4",
+        "size and power of top-5 trackers (published vs model)",
+    );
     let model = CostModel::default();
     println!(
         "{:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10} | {:>10} {:>10}",

@@ -21,7 +21,12 @@ fn main() {
         let (mut sys, _) = standard_system(&spec);
         let mut wl = trace.fresh();
         let report = match which {
-            "none" => run(&mut sys, &mut wl, &mut cxl_sim::system::NoMigration, accesses),
+            "none" => run(
+                &mut sys,
+                &mut wl,
+                &mut cxl_sim::system::NoMigration,
+                accesses,
+            ),
             "hpt" => {
                 let mut m5 = M5Manager::new(policy::simple_hpt_policy());
                 let r = run(&mut sys, &mut wl, &mut m5, accesses);

@@ -1,0 +1,132 @@
+//! Crash-point sweep harness.
+//!
+//! The transactional migration engine journals every migration as a
+//! write-ahead transaction (`Intent → CopyInProgress → Remapped →
+//! Committed`), and a [`FaultKind::ControllerReset`] strikes exactly at a
+//! journal-append boundary. That makes crashes *enumerable*: a fault-free
+//! baseline run of a workload performs some number `N` of journal appends,
+//! and injecting a reset at step `k` for every `k in 1..=N` exercises a
+//! crash at every reachable transaction state the workload produces.
+//!
+//! For each sweep point the harness runs the full workload + M5 manager,
+//! lets the manager's recovery prologue replay the journal, and checks
+//! that (a) the run still completes its access budget and (b)
+//! [`System::check_invariants`] holds at exit. The sweep tests live in
+//! `tests/crash_sweep.rs`; CI runs them in release mode and uploads the
+//! per-point failure reports (`M5_SWEEP_ARTIFACTS=<dir>`) when they fail.
+
+use cxl_sim::faults::{FaultKind, FaultPlan};
+use cxl_sim::journal::RecoveryReport;
+use cxl_sim::prelude::*;
+use cxl_sim::system::run;
+use m5_core::manager::{M5Config, M5Manager};
+use m5_workloads::registry::Benchmark;
+
+/// One sweep workload: a benchmark pinned to a seed and a deliberately
+/// small access budget — the sweep reruns the whole workload once per
+/// journal step, so the budget bounds the sweep's total runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSpec {
+    /// Short name, used in failure reports and artifact files.
+    pub name: &'static str,
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// Trace seed.
+    pub seed: u64,
+    /// Access budget per sweep point.
+    pub accesses: u64,
+}
+
+/// The three sweep workloads — the same benchmark/seed families as the
+/// golden suite (`crate::golden::GOLDENS`), with budgets sized so the full
+/// sweep (baseline steps × full runs each) stays in CI-friendly time.
+pub const SWEEPS: [SweepSpec; 3] = [
+    SweepSpec {
+        name: "graph",
+        benchmark: Benchmark::Pr,
+        seed: 42,
+        accesses: 30_000,
+    },
+    SweepSpec {
+        name: "kv",
+        benchmark: Benchmark::Redis,
+        seed: 42,
+        accesses: 30_000,
+    },
+    SweepSpec {
+        name: "spec",
+        benchmark: Benchmark::Mcf,
+        seed: 42,
+        accesses: 30_000,
+    },
+];
+
+/// The observable outcome of one sweep point (or of the baseline run).
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// Reset injection point (`None` for the fault-free baseline).
+    pub at_step: Option<u64>,
+    /// Accesses the run actually completed.
+    pub accesses: u64,
+    /// Journal appends performed by the end of the run.
+    pub steps: u64,
+    /// Committed migrations per the journal's terminal counters.
+    pub committed: u64,
+    /// Whether the armed reset actually struck during the run.
+    pub fired: bool,
+    /// The end-of-run journal replay, if the run ended fenced (a reset
+    /// that struck after the manager's last epoch).
+    pub final_recovery: Option<RecoveryReport>,
+    /// Invariant violations at exit (must be empty).
+    pub violations: Vec<String>,
+}
+
+fn run_spec(s: &SweepSpec, plan: &FaultPlan, at_step: Option<u64>) -> SweepRun {
+    let spec = s.benchmark.spec();
+    let (mut sys, region) = crate::standard_system_with_faults(&spec, plan);
+    let mut wl = spec.build(region.base, s.accesses, s.seed);
+    let mut m5 = M5Manager::new(M5Config::default());
+    let report = run(&mut sys, &mut wl, &mut m5, s.accesses);
+    // A reset that strikes after the manager's last epoch leaves the
+    // engine fenced at exit; recovery is then the *next* run's first act,
+    // which the sweep performs here so invariants are checked post-replay.
+    let final_recovery = sys.needs_recovery().then(|| sys.recover());
+    SweepRun {
+        at_step,
+        accesses: report.accesses,
+        steps: sys.journal().steps(),
+        committed: sys.journal().counters().committed(),
+        fired: at_step.is_some() && !sys.reset_pending(),
+        final_recovery,
+        violations: sys.check_invariants(),
+    }
+}
+
+/// Runs the fault-free baseline, whose `steps` defines the sweep range.
+pub fn baseline(s: &SweepSpec) -> SweepRun {
+    run_spec(s, &FaultPlan::none(), None)
+}
+
+/// Runs one sweep point: the workload with a controller reset armed to
+/// strike at journal step `at_step`.
+pub fn run_with_reset(s: &SweepSpec, at_step: u64) -> SweepRun {
+    let plan = FaultPlan::none().with(Nanos::ZERO, FaultKind::ControllerReset { at_step });
+    run_spec(s, &plan, Some(at_step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_fault_free_and_journals_migrations() {
+        let b = baseline(&SWEEPS[0]);
+        assert_eq!(b.at_step, None);
+        assert!(!b.fired);
+        assert!(b.final_recovery.is_none());
+        assert!(b.violations.is_empty(), "{:?}", b.violations);
+        assert!(b.committed > 0, "baseline never migrated");
+        // A committed migration is exactly 4 appends; aborts are 2.
+        assert!(b.steps >= 4 * b.committed);
+    }
+}

@@ -89,7 +89,10 @@ pub fn run_golden(g: &GoldenSpec, jsonl: Option<&Path>) -> (MetricsSnapshot, Run
 pub fn render(name: &str, snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# golden metrics snapshot: {name}");
-    let _ = writeln!(out, "# regenerate: UPDATE_GOLDENS=1 cargo test -p m5-bench --test golden");
+    let _ = writeln!(
+        out,
+        "# regenerate: UPDATE_GOLDENS=1 cargo test -p m5-bench --test golden"
+    );
     for (k, v) in &snap.counters {
         let _ = writeln!(out, "counter {k} {v}");
     }
@@ -191,7 +194,8 @@ mod tests {
 
     #[test]
     fn render_parse_roundtrip_and_exact_diff() {
-        let text = "# comment\ncounter sim.llc{hit} 10\ngauge bw{ddr} 2.500\nhist lat{} 4 100 60 32 60\n";
+        let text =
+            "# comment\ncounter sim.llc{hit} 10\ngauge bw{ddr} 2.500\nhist lat{} 4 100 60 32 60\n";
         let p = parse(text);
         assert_eq!(p.len(), 3);
         assert_eq!(p["counter sim.llc{hit}"].1, vec![10.0]);

@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod crash_sweep;
 pub mod golden;
 pub mod results;
 
@@ -163,7 +164,12 @@ pub fn collect_trace(
     let (mut sys, region) = standard_system(spec);
     let handle = sys.attach_device(TraceCapture::with_limit(limit));
     let mut wl = spec.build(region.base, target_accesses, seed);
-    let _ = cxl_sim::system::run(&mut sys, &mut wl, &mut cxl_sim::system::NoMigration, u64::MAX);
+    let _ = cxl_sim::system::run(
+        &mut sys,
+        &mut wl,
+        &mut cxl_sim::system::NoMigration,
+        u64::MAX,
+    );
     let cap: &TraceCapture = sys.device(handle).expect("capture attached");
     cap.records().to_vec()
 }

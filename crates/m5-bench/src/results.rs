@@ -87,13 +87,7 @@ impl CsvSink {
     }
 
     /// Buffers one row from parts.
-    pub fn push(
-        &mut self,
-        experiment: &str,
-        label: &str,
-        series: &str,
-        value: f64,
-    ) {
+    pub fn push(&mut self, experiment: &str, label: &str, series: &str, value: f64) {
         self.record(ResultRow::new(experiment, label, series, value));
     }
 

@@ -77,7 +77,9 @@ impl HotPageTracker {
     /// manager's health check recognises these as garbage and falls back to
     /// software-only identification.
     fn garbage(&self) -> Vec<(Pfn, u64)> {
-        (0..self.k).map(|i| (Pfn(u64::MAX - i as u64), u64::MAX)).collect()
+        (0..self.k)
+            .map(|i| (Pfn(u64::MAX - i as u64), u64::MAX))
+            .collect()
     }
 
     /// Accesses observed since the last query.

@@ -61,7 +61,8 @@ impl AdaptiveFDefault {
     pub fn new(config: AdaptiveFDefaultConfig) -> AdaptiveFDefault {
         assert!(config.step > 1.0, "step must exceed 1");
         assert!(
-            0.0 < config.min_hz && config.min_hz <= config.initial_hz
+            0.0 < config.min_hz
+                && config.min_hz <= config.initial_hz
                 && config.initial_hz <= config.max_hz,
             "need 0 < min <= initial <= max"
         );

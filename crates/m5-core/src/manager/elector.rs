@@ -171,7 +171,10 @@ mod tests {
         e.decide(&stats(100, 100, 8e9, 1e9));
         // DDR's relative density *fell* and CXL is still colder: stop.
         let d = e.decide(&stats(100, 100, 4e9, 1e9));
-        assert!(!d.migrate, "declining rel_bw_den(DDR) with cold CXL must pause");
+        assert!(
+            !d.migrate,
+            "declining rel_bw_den(DDR) with cold CXL must pause"
+        );
     }
 
     #[test]

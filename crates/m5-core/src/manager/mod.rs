@@ -59,7 +59,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroPromoteBatch => write!(f, "promote_batch must be nonzero"),
             ConfigError::BadMigrationBudget(b) => {
-                write!(f, "migration_time_budget {b} must be a finite fraction in (0, 1]")
+                write!(
+                    f,
+                    "migration_time_budget {b} must be a finite fraction in (0, 1]"
+                )
             }
             ConfigError::ZeroHotLogCap => write!(f, "hot_log_cap must be nonzero"),
         }
@@ -236,8 +239,7 @@ impl M5Manager {
     fn query_trackers(&mut self, sys: &mut System) -> TrackerOutput {
         let query_cost = sys.config().costs.tracker_query;
         let cxl_frames = sys.config().cxl.capacity_frames;
-        let pfn_ok =
-            |pfn: Pfn| pfn.0 >= CXL_BASE_PFN && pfn.0 < CXL_BASE_PFN + cxl_frames;
+        let pfn_ok = |pfn: Pfn| pfn.0 >= CXL_BASE_PFN && pfn.0 < CXL_BASE_PFN + cxl_frames;
         // Report batches are traced as spans so a JSONL consumer can line
         // up tracker output with the epoch that consumed it.
         let span = sys.telemetry().is_enabled().then(|| {
@@ -270,7 +272,8 @@ impl M5Manager {
         {
             hot_pages.clear();
             self.hpt_strikes = self.hpt_strikes.saturating_add(1);
-            sys.telemetry_mut().counter_add("m5.tracker.strikes", "hpt", 1);
+            sys.telemetry_mut()
+                .counter_add("m5.tracker.strikes", "hpt", 1);
             if self.hpt_strikes >= TRACKER_STRIKE_LIMIT {
                 self.engage_fallback(sys, "hpt");
             }
@@ -297,7 +300,8 @@ impl M5Manager {
         {
             hot_words.clear();
             self.hwt_strikes = self.hwt_strikes.saturating_add(1);
-            sys.telemetry_mut().counter_add("m5.tracker.strikes", "hwt", 1);
+            sys.telemetry_mut()
+                .counter_add("m5.tracker.strikes", "hwt", 1);
             if self.hwt_strikes >= TRACKER_STRIKE_LIMIT {
                 self.engage_fallback(sys, "hwt");
             }
@@ -379,6 +383,28 @@ impl MigrationDaemon for M5Manager {
 
     fn on_tick(&mut self, sys: &mut System) {
         self.epochs += 1;
+        // Crash-recovery prologue: a controller reset mid-migration leaves
+        // the engine fenced, and every migrate call would fail with
+        // `NeedsRecovery` until the journal is replayed. Recover first so
+        // the epoch proceeds on a consistent page table, and note the
+        // degradation so the run report shows the reset was survived.
+        if sys.needs_recovery() {
+            let r = sys.recover();
+            if sys.telemetry().is_enabled() {
+                let now = sys.now().0;
+                let t = sys.telemetry_mut();
+                t.counter_add("m5.recovery", "replays", 1);
+                t.event(now, "m5.recovery", "journal replayed");
+            }
+            sys.note_degradation(format!(
+                "{}: controller reset recovered — {} txns scanned, \
+                 {} aborted, {} rolled back, {} rolled forward",
+                self.name, r.scanned, r.aborted, r.rolled_back, r.rolled_forward
+            ));
+        }
+        // Return a few poisoned frames to circulation each epoch; the scrub
+        // is bounded so one epoch never pays for a large backlog at once.
+        sys.scrub_quarantine(8);
         let stats = self.monitor.sample(sys);
         let decision = self.elector.decide(&stats);
         sys.telemetry_mut().counter_add(
@@ -484,8 +510,11 @@ mod tests {
     }
 
     fn setup(config: M5Config) -> (System, SkewedStream, M5Manager) {
-        let mut sys =
-            System::new(SystemConfig::small().with_cxl_frames(1024).with_ddr_frames(256));
+        let mut sys = System::new(
+            SystemConfig::small()
+                .with_cxl_frames(1024)
+                .with_ddr_frames(256),
+        );
         let region = sys.alloc_region(512, Placement::AllOnCxl).unwrap();
         let wl = SkewedStream {
             base: region.base,
@@ -536,7 +565,10 @@ mod tests {
         let (mut sys, mut wl, mut m5) = setup(config);
         assert_eq!(m5.name(), "m5-hwt");
         let report = run(&mut sys, &mut wl, &mut m5, u64::MAX);
-        assert!(report.migrations.promotions > 0, "hot words drive promotion");
+        assert!(
+            report.migrations.promotions > 0,
+            "hot words drive promotion"
+        );
     }
 
     #[test]
@@ -637,11 +669,50 @@ mod tests {
             assert!(
                 events
                     .iter()
-                    .any(|e| e.name == name
-                        && matches!(e.kind, EventKind::SpanEnd { .. })),
+                    .any(|e| e.name == name && matches!(e.kind, EventKind::SpanEnd { .. })),
                 "missing span end for {name}"
             );
         }
+    }
+
+    #[test]
+    fn controller_reset_is_recovered_next_epoch() {
+        use cxl_sim::faults::{FaultKind, FaultPlan};
+        // Fence the engine mid-transaction (step 2 is the CopyInProgress
+        // append of the very first migration): the manager must replay the
+        // journal on its next epoch and keep promoting afterwards.
+        let plan = FaultPlan::none().with(Nanos::ZERO, FaultKind::ControllerReset { at_step: 2 });
+        let mut sys = System::with_fault_plan(
+            SystemConfig::small()
+                .with_cxl_frames(1024)
+                .with_ddr_frames(256),
+            &plan,
+        );
+        let region = sys.alloc_region(512, Placement::AllOnCxl).unwrap();
+        let mut wl = SkewedStream {
+            base: region.base,
+            pages: 512,
+            hot: 16,
+            rng: SmallRng::seed_from_u64(3),
+            remaining: 300_000,
+        };
+        let mut m5 = M5Manager::new(M5Config::default());
+        let report = run(&mut sys, &mut wl, &mut m5, u64::MAX);
+        assert!(!sys.needs_recovery(), "manager replayed the journal");
+        assert!(
+            report.migrations.promotions > 0,
+            "migrations resumed after recovery"
+        );
+        assert!(
+            report
+                .health
+                .degraded
+                .iter()
+                .any(|d| d.contains("controller reset recovered")),
+            "recovery recorded as a degradation: {:?}",
+            report.health.degraded
+        );
+        assert!(sys.check_invariants().is_empty());
     }
 
     #[test]

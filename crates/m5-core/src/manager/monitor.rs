@@ -139,7 +139,10 @@ mod tests {
         let mut mon = Monitor::new();
         let s = mon.sample(&mut sys);
         assert_eq!(s.nr_pages(NodeId::CXL), 8);
-        assert!(s.bw(NodeId::CXL) > 0.0, "cold misses consumed CXL bandwidth");
+        assert!(
+            s.bw(NodeId::CXL) > 0.0,
+            "cold misses consumed CXL bandwidth"
+        );
         assert_eq!(s.bw(NodeId::DDR), 0.0);
         // The next window starts empty.
         let s2 = mon.sample(&mut sys);

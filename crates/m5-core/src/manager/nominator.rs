@@ -105,11 +105,12 @@ impl Nominator {
         self.hpa.clear();
         match self.mode {
             NominatorMode::HptOnly => {
-                self.hpa.extend(hot_pages.iter().map(|&(pfn, count)| HpaEntry {
-                    pfn,
-                    count,
-                    mask: 0,
-                }));
+                self.hpa
+                    .extend(hot_pages.iter().map(|&(pfn, count)| HpaEntry {
+                        pfn,
+                        count,
+                        mask: 0,
+                    }));
             }
             NominatorMode::HptDriven => {
                 let mut index: HashMap<Pfn, usize> = HashMap::with_capacity(hot_pages.len());
@@ -249,7 +250,12 @@ mod tests {
         // Pages 1 and 2 in the same log₂ hotness bucket; page 2 is denser.
         n.refresh(
             &[(pfn(1), 100), (pfn(2), 98)],
-            &[(word(1, 0), 9), (word(2, 1), 9), (word(2, 2), 9), (word(2, 3), 9)],
+            &[
+                (word(1, 0), 9),
+                (word(2, 1), 9),
+                (word(2, 2), 9),
+                (word(2, 3), 9),
+            ],
         );
         let out = n.nominate(2);
         assert_eq!(out[0].pfn, pfn(2), "denser page wins the tie");
@@ -266,11 +272,7 @@ mod tests {
         let mut n = Nominator::new(NominatorMode::HwtDriven);
         n.refresh(
             &[], // no HPT in this mode
-            &[
-                (word(5, 0), 40),
-                (word(5, 1), 30),
-                (word(6, 9), 50),
-            ],
+            &[(word(5, 0), 40), (word(5, 1), 30), (word(6, 9), 50)],
         );
         let out = n.nominate(10);
         assert_eq!(out.len(), 2);

@@ -153,6 +153,12 @@ impl Promoter {
             t.counter_add("m5.promoter", "rejected-other", rejected_other);
             t.counter_add("m5.promoter", "retried", retried);
             t.counter_add("m5.promoter", "gave-up", gave_up);
+            // Per-cause breakdown of the final rejections, so degradation
+            // dashboards can tell a rollback (copy fault, watchdog stall,
+            // reset fence) from a capacity miss or a safety check.
+            for (_, err) in &out.rejected {
+                t.counter_add("m5.promoter.cause", err.cause_label(), 1);
+            }
         }
         out
     }
@@ -273,6 +279,34 @@ mod tests {
             2,
             "2 requests rejected must count exactly 2, not once per attempt"
         );
+    }
+
+    #[test]
+    fn rejection_causes_are_broken_out_in_telemetry() {
+        use cxl_sim::faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::none().with(
+            Nanos::ZERO,
+            FaultKind::DdrPressure {
+                duration: Nanos::from_secs(1),
+            },
+        );
+        let mut sys = System::with_fault_plan(SystemConfig::small(), &plan);
+        sys.install_telemetry(Telemetry::enabled());
+        let r = sys.alloc_region(3, Placement::AllOnCxl).unwrap();
+        sys.page_table_mut().set_pinned(r.base.vpn(), true);
+        let pfns: Vec<Pfn> = r
+            .vpns()
+            .map(|v| sys.page_table().get(v).unwrap().pfn)
+            .collect();
+        // Arm the pressure window.
+        sys.access(r.base, false);
+        let mut p = Promoter::new(PromoterConfig::default());
+        let entries: Vec<HpaEntry> = pfns.iter().map(|&f| entry(f)).collect();
+        let out = p.promote(&mut sys, &entries);
+        assert!(out.migrated.is_empty());
+        let snap = sys.telemetry().snapshot();
+        assert_eq!(snap.counter("m5.promoter.cause", "pinned"), Some(1));
+        assert_eq!(snap.counter("m5.promoter.cause", "no-free-frame"), Some(2));
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl AccessStream for SkewedStream {
 
 fn setup(plan: &FaultPlan) -> (System, SkewedStream, M5Manager) {
     let mut sys = System::with_fault_plan(
-        SystemConfig::small().with_cxl_frames(1024).with_ddr_frames(256),
+        SystemConfig::small()
+            .with_cxl_frames(1024)
+            .with_ddr_frames(256),
         plan,
     );
     let region = sys.alloc_region(512, Placement::AllOnCxl).unwrap();
@@ -60,7 +62,10 @@ fn tracker_failure_falls_back_to_software_identification() {
     let (mut sys, mut wl, mut m5) = setup(&plan);
     let report = run(&mut sys, &mut wl, &mut m5, u64::MAX);
 
-    assert_eq!(report.accesses, 300_000, "run completed despite tracker loss");
+    assert_eq!(
+        report.accesses, 300_000,
+        "run completed despite tracker loss"
+    );
     assert!(m5.in_software_fallback());
     assert_eq!(report.daemon, "m5-hpt+sw-fallback");
     assert_eq!(report.health.degraded.len(), 1);
@@ -72,7 +77,10 @@ fn tracker_failure_falls_back_to_software_identification() {
     let hot_on_ddr = (0..16)
         .filter(|&p| sys.page_table().get(Vpn(p)).unwrap().node() == NodeId::Ddr)
         .count();
-    assert!(hot_on_ddr > 0, "fallback still promotes some of the hot set");
+    assert!(
+        hot_on_ddr > 0,
+        "fallback still promotes some of the hot set"
+    );
 }
 
 #[test]

@@ -243,7 +243,11 @@ mod tests {
         // 4-bit counters saturate at 15.
         let mut pac = small_pac(4);
         touch(&mut pac, 2, 100);
-        assert_eq!(pac.count(Pfn(CXL_BASE_PFN + 2)), 100, "exact despite spills");
+        assert_eq!(
+            pac.count(Pfn(CXL_BASE_PFN + 2)),
+            100,
+            "exact despite spills"
+        );
         assert_eq!(pac.spill_writes(), 100 / 15);
     }
 

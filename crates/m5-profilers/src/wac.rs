@@ -113,7 +113,8 @@ impl Wac {
     pub fn flush_sram(&mut self) {
         for (i, c) in self.sram.iter_mut().enumerate() {
             if *c > 0 {
-                self.table.spill(self.config.window_base.0 + i as u64, *c as u64);
+                self.table
+                    .spill(self.config.window_base.0 + i as u64, *c as u64);
                 *c = 0;
             }
         }
@@ -121,9 +122,7 @@ impl Wac {
 
     /// The exact access count of `line` (SRAM residue + table).
     pub fn word_count(&self, line: CacheLineAddr) -> u64 {
-        let sram = self
-            .index_of(line)
-            .map_or(0, |idx| self.sram[idx] as u64);
+        let sram = self.index_of(line).map_or(0, |idx| self.sram[idx] as u64);
         sram + self.table.get(line.0)
     }
 
@@ -143,7 +142,9 @@ impl Wac {
         let mut merged: HashMap<u64, u64> = self.table.iter().collect();
         for (i, &c) in self.sram.iter().enumerate() {
             if c > 0 {
-                *merged.entry(self.config.window_base.0 + i as u64).or_default() += c as u64;
+                *merged
+                    .entry(self.config.window_base.0 + i as u64)
+                    .or_default() += c as u64;
             }
         }
         merged.into_iter().map(|(a, c)| (CacheLineAddr(a), c))

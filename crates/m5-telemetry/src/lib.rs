@@ -111,7 +111,9 @@ impl Telemetry {
     /// An enabled bus with no sinks attached (metrics still accumulate and
     /// can be read back via [`Telemetry::snapshot`]).
     pub fn enabled() -> Telemetry {
-        Telemetry { inner: Some(Box::default()) }
+        Telemetry {
+            inner: Some(Box::default()),
+        }
     }
 
     /// Whether recording is active.
@@ -147,7 +149,10 @@ impl Telemetry {
     #[inline]
     pub fn histogram_record(&mut self, name: &'static str, label: &'static str, value: u64) {
         if let Some(inner) = &mut self.inner {
-            inner.histograms.entry(MetricKey::new(name, label)).record(value);
+            inner
+                .histograms
+                .entry(MetricKey::new(name, label))
+                .record(value);
         }
     }
 
@@ -174,7 +179,12 @@ impl Telemetry {
         for s in &mut inner.sinks {
             s.on_event(&event);
         }
-        inner.open_spans.push(OpenSpan { id, start_ns: ts_ns, name, label });
+        inner.open_spans.push(OpenSpan {
+            id,
+            start_ns: ts_ns,
+            name,
+            label,
+        });
         SpanId(id)
     }
 
@@ -224,8 +234,18 @@ impl Telemetry {
             return MetricsSnapshot::default();
         };
         MetricsSnapshot {
-            counters: inner.counters.sorted().into_iter().map(|(k, v)| (k, *v)).collect(),
-            gauges: inner.gauges.sorted().into_iter().map(|(k, v)| (k, *v)).collect(),
+            counters: inner
+                .counters
+                .sorted()
+                .into_iter()
+                .map(|(k, v)| (k, *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .sorted()
+                .into_iter()
+                .map(|(k, v)| (k, *v))
+                .collect(),
             histograms: inner
                 .histograms
                 .sorted()
@@ -273,7 +293,10 @@ mod tests {
         t.event(5, "e", "");
         t.flush();
         assert_eq!(t.snapshot(), MetricsSnapshot::default());
-        assert_eq!(std::mem::size_of::<Telemetry>(), std::mem::size_of::<usize>());
+        assert_eq!(
+            std::mem::size_of::<Telemetry>(),
+            std::mem::size_of::<usize>()
+        );
     }
 
     #[test]

@@ -267,8 +267,7 @@ impl<V: Default> Registry<V> {
     }
 
     pub(crate) fn sorted(&self) -> Vec<(MetricKey, &V)> {
-        let mut out: Vec<(MetricKey, &V)> =
-            self.slots.iter().map(|(k, v)| (*k, v)).collect();
+        let mut out: Vec<(MetricKey, &V)> = self.slots.iter().map(|(k, v)| (*k, v)).collect();
         out.sort_by_key(|&(k, _)| k);
         out
     }
@@ -332,6 +331,9 @@ mod tests {
     #[test]
     fn key_display_formats() {
         assert_eq!(MetricKey::new("sim.llc", "hit").to_string(), "sim.llc{hit}");
-        assert_eq!(MetricKey::new("sim.accesses", "").to_string(), "sim.accesses");
+        assert_eq!(
+            MetricKey::new("sim.accesses", "").to_string(),
+            "sim.accesses"
+        );
     }
 }

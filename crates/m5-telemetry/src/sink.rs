@@ -78,13 +78,22 @@ impl MemorySink {
     /// Builds a sink and the read handle to its buffer.
     pub fn new() -> (MemorySink, Arc<Mutex<MemoryBuffer>>) {
         let buf = Arc::new(Mutex::new(MemoryBuffer::default()));
-        (MemorySink { buf: Arc::clone(&buf) }, buf)
+        (
+            MemorySink {
+                buf: Arc::clone(&buf),
+            },
+            buf,
+        )
     }
 }
 
 impl Sink for MemorySink {
     fn on_event(&mut self, event: &Event) {
-        self.buf.lock().expect("memory sink poisoned").events.push(event.clone());
+        self.buf
+            .lock()
+            .expect("memory sink poisoned")
+            .events
+            .push(event.clone());
     }
 
     fn on_snapshot(&mut self, snapshot: &MetricsSnapshot) {

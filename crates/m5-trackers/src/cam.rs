@@ -140,7 +140,15 @@ mod tests {
     #[test]
     fn stays_sorted_descending_always() {
         let mut cam = SortedCam::new(5);
-        for (i, c) in [(10, 3), (11, 9), (12, 1), (13, 7), (14, 5), (15, 8), (10, 12)] {
+        for (i, c) in [
+            (10, 3),
+            (11, 9),
+            (12, 1),
+            (13, 7),
+            (14, 5),
+            (15, 8),
+            (10, 12),
+        ] {
             cam.offer(i, c);
             let counts: Vec<u64> = cam.entries().iter().map(|e| e.count).collect();
             let mut sorted = counts.clone();

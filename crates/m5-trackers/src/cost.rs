@@ -49,14 +49,62 @@ pub struct Table4Row {
 
 /// The paper's Table 4, verbatim (top-5 trackers, H = 4, 7 nm logic).
 pub const TABLE4_PUBLISHED: [Table4Row; 8] = [
-    Table4Row { n: 50, ss_area_um2: Some(3_649.0), cm_area_um2: 1_899.0, ss_power_mw: Some(0.7), cm_power_mw: 2.0 },
-    Table4Row { n: 100, ss_area_um2: Some(7_323.0), cm_area_um2: 2_134.0, ss_power_mw: Some(1.3), cm_power_mw: 2.2 },
-    Table4Row { n: 512, ss_area_um2: Some(36_374.0), cm_area_um2: 2_878.0, ss_power_mw: Some(6.4), cm_power_mw: 2.7 },
-    Table4Row { n: 1_024, ss_area_um2: Some(89_369.0), cm_area_um2: 3_714.0, ss_power_mw: Some(15.0), cm_power_mw: 3.2 },
-    Table4Row { n: 2_048, ss_area_um2: Some(179_625.0), cm_area_um2: 5_346.0, ss_power_mw: Some(29.9), cm_power_mw: 3.9 },
-    Table4Row { n: 8_192, ss_area_um2: None, cm_area_um2: 13_509.0, ss_power_mw: None, cm_power_mw: 7.9 },
-    Table4Row { n: 32_768, ss_area_um2: None, cm_area_um2: 46_930.0, ss_power_mw: None, cm_power_mw: 23.2 },
-    Table4Row { n: 131_072, ss_area_um2: None, cm_area_um2: 180_530.0, ss_power_mw: None, cm_power_mw: 83.8 },
+    Table4Row {
+        n: 50,
+        ss_area_um2: Some(3_649.0),
+        cm_area_um2: 1_899.0,
+        ss_power_mw: Some(0.7),
+        cm_power_mw: 2.0,
+    },
+    Table4Row {
+        n: 100,
+        ss_area_um2: Some(7_323.0),
+        cm_area_um2: 2_134.0,
+        ss_power_mw: Some(1.3),
+        cm_power_mw: 2.2,
+    },
+    Table4Row {
+        n: 512,
+        ss_area_um2: Some(36_374.0),
+        cm_area_um2: 2_878.0,
+        ss_power_mw: Some(6.4),
+        cm_power_mw: 2.7,
+    },
+    Table4Row {
+        n: 1_024,
+        ss_area_um2: Some(89_369.0),
+        cm_area_um2: 3_714.0,
+        ss_power_mw: Some(15.0),
+        cm_power_mw: 3.2,
+    },
+    Table4Row {
+        n: 2_048,
+        ss_area_um2: Some(179_625.0),
+        cm_area_um2: 5_346.0,
+        ss_power_mw: Some(29.9),
+        cm_power_mw: 3.9,
+    },
+    Table4Row {
+        n: 8_192,
+        ss_area_um2: None,
+        cm_area_um2: 13_509.0,
+        ss_power_mw: None,
+        cm_power_mw: 7.9,
+    },
+    Table4Row {
+        n: 32_768,
+        ss_area_um2: None,
+        cm_area_um2: 46_930.0,
+        ss_power_mw: None,
+        cm_power_mw: 23.2,
+    },
+    Table4Row {
+        n: 131_072,
+        ss_area_um2: None,
+        cm_area_um2: 180_530.0,
+        ss_power_mw: None,
+        cm_power_mw: 83.8,
+    },
 ];
 
 /// Analytic area/power model fitted to [`TABLE4_PUBLISHED`].
@@ -179,8 +227,14 @@ mod tests {
         let row = TABLE4_PUBLISHED.iter().find(|r| r.n == 2048).unwrap();
         let area_ratio = row.ss_area_um2.unwrap() / row.cm_area_um2;
         let power_ratio = row.ss_power_mw.unwrap() / row.cm_power_mw;
-        assert!((area_ratio - 33.6).abs() < 0.1, "area ratio {area_ratio:.1}");
-        assert!((power_ratio - 7.6).abs() < 0.1, "power ratio {power_ratio:.1}");
+        assert!(
+            (area_ratio - 33.6).abs() < 0.1,
+            "area ratio {area_ratio:.1}"
+        );
+        assert!(
+            (power_ratio - 7.6).abs() < 0.1,
+            "power ratio {power_ratio:.1}"
+        );
     }
 
     #[test]
@@ -195,7 +249,8 @@ mod tests {
     #[test]
     fn cam_grows_much_faster_than_sram() {
         let m = CostModel::default();
-        let ratio_small = m.area_um2(TrackerKind::SpaceSaving, 50) / m.area_um2(TrackerKind::CmSketch, 50);
+        let ratio_small =
+            m.area_um2(TrackerKind::SpaceSaving, 50) / m.area_um2(TrackerKind::CmSketch, 50);
         let ratio_large =
             m.area_um2(TrackerKind::SpaceSaving, 2048) / m.area_um2(TrackerKind::CmSketch, 2048);
         assert!(ratio_large > ratio_small * 5.0);

@@ -62,11 +62,7 @@ impl GroupedSpaceSaving {
         let range = self.group_range(addr);
         let group = &mut self.entries[range];
         // Tag hit?
-        if let Some(e) = group
-            .iter_mut()
-            .flatten()
-            .find(|e| e.addr == addr)
-        {
+        if let Some(e) = group.iter_mut().flatten().find(|e| e.addr == addr) {
             e.count += 1;
             return;
         }
@@ -194,7 +190,13 @@ mod tests {
         }
         for e in t.entries_sorted() {
             let true_count = truth[&e.addr];
-            assert!(e.count >= true_count, "{}: {} < {}", e.addr, e.count, true_count);
+            assert!(
+                e.count >= true_count,
+                "{}: {} < {}",
+                e.addr,
+                e.count,
+                true_count
+            );
             assert!(e.count - true_count <= e.error);
         }
     }

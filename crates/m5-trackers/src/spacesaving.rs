@@ -189,7 +189,9 @@ mod tests {
         // Skewed stream over 50 keys.
         let mut x: u64 = 12345;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 50;
             let key = key * key / 50; // skew toward small keys
             ss.update(key);

@@ -81,7 +81,11 @@ impl TopKAlgorithm for CmSketchTopK {
     }
 
     fn top_k(&self) -> Vec<(u64, u64)> {
-        self.cam.entries().iter().map(|e| (e.addr, e.count)).collect()
+        self.cam
+            .entries()
+            .iter()
+            .map(|e| (e.addr, e.count))
+            .collect()
     }
 
     fn reset(&mut self) {
@@ -254,8 +258,7 @@ mod tests {
         // The paper's core DSE finding: bigger N → fewer collisions → the
         // reported top-K overlaps the exact top-K more.
         let stream = zipf_stream(2000, 100_000, 5);
-        let exact: std::collections::HashSet<u64> =
-            exact_top_k(&stream, 5).into_iter().collect();
+        let exact: std::collections::HashSet<u64> = exact_top_k(&stream, 5).into_iter().collect();
 
         let overlap = |n: usize| {
             let mut t = CmSketchTopK::with_total_entries(4, n, 5, 7);

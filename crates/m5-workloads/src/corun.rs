@@ -115,8 +115,16 @@ mod tests {
     fn interleaves_in_quanta() {
         let mut co = CoRunner::new(
             vec![
-                Fixed { base: 0, n: 4, i: 0 },
-                Fixed { base: 1 << 20, n: 4, i: 0 },
+                Fixed {
+                    base: 0,
+                    n: 4,
+                    i: 0,
+                },
+                Fixed {
+                    base: 1 << 20,
+                    n: 4,
+                    i: 0,
+                },
             ],
             2,
         );
@@ -131,8 +139,16 @@ mod tests {
     fn drains_unequal_streams_completely() {
         let mut co = CoRunner::new(
             vec![
-                Fixed { base: 0, n: 1, i: 0 },
-                Fixed { base: 1 << 20, n: 5, i: 0 },
+                Fixed {
+                    base: 0,
+                    n: 1,
+                    i: 0,
+                },
+                Fixed {
+                    base: 1 << 20,
+                    n: 5,
+                    i: 0,
+                },
             ],
             3,
         );
@@ -142,7 +158,14 @@ mod tests {
 
     #[test]
     fn single_stream_passes_through() {
-        let mut co = CoRunner::new(vec![Fixed { base: 0, n: 3, i: 0 }], 1);
+        let mut co = CoRunner::new(
+            vec![Fixed {
+                base: 0,
+                n: 3,
+                i: 0,
+            }],
+            1,
+        );
         assert_eq!(co.total_streams(), 1);
         let total = std::iter::from_fn(|| co.next_access()).count();
         assert_eq!(total, 3);

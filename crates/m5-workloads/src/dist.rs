@@ -76,7 +76,11 @@ impl Scatter {
             return 0;
         }
         let bits = 64 - (self.n - 1).leading_zeros();
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mul = (m5_mix(self.seed) | 1) & mask; // odd ⇒ bijective mod 2^bits
         let add = m5_mix(self.seed ^ 0xabcd) & mask;
         let shift = (bits / 2).max(1);

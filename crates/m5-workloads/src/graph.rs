@@ -192,7 +192,10 @@ impl GraphLayout {
 fn row(g: &CsrGraph, l: &GraphLayout, rec: &mut AccessRecorder, v: u32) -> (u64, u64) {
     rec.read(l.offset(v));
     rec.read(l.offset(v + 1));
-    (g.offsets[v as usize] as u64, g.offsets[v as usize + 1] as u64)
+    (
+        g.offsets[v as usize] as u64,
+        g.offsets[v as usize + 1] as u64,
+    )
 }
 
 /// PageRank (pull-based), emitting offset/target/rank reads and next-rank
@@ -235,8 +238,7 @@ pub fn pagerank(
                 sum += contrib[u as usize];
             }
             // next = 0.15/n + 0.85 * (sum + dangling share), fixed-point.
-            next[v as usize] =
-                (scale * 15 / 100) / n as u64 + (sum + dangling_share) * 85 / 100;
+            next[v as usize] = (scale * 15 / 100) / n as u64 + (sum + dangling_share) * 85 / 100;
             rec.write(l.prop_b(v));
             if rec.len() as u64 >= budget {
                 return rank;
@@ -447,12 +449,7 @@ pub fn betweenness(
 }
 
 /// Triangle counting by sorted adjacency intersection; returns the count.
-pub fn triangle_count(
-    g: &CsrGraph,
-    l: &GraphLayout,
-    rec: &mut AccessRecorder,
-    budget: u64,
-) -> u64 {
+pub fn triangle_count(g: &CsrGraph, l: &GraphLayout, rec: &mut AccessRecorder, budget: u64) -> u64 {
     let n = g.num_vertices();
     let mut triangles = 0u64;
     for v in 0..n as u32 {

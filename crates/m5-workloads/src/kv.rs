@@ -139,10 +139,10 @@ pub fn generate(config: &KvConfig, base: VirtAddr, target_accesses: u64) -> Repl
         // sizes vary per key (1..=obj_words), like mixed value sizes.
         let page = key / config.objs_per_page;
         let slot = key % config.objs_per_page;
-        let this_obj_words = 1 + crate::dist::hash_slot(page, slot, config.seed ^ 0x0b1) % config.obj_words;
+        let this_obj_words =
+            1 + crate::dist::hash_slot(page, slot, config.seed ^ 0x0b1) % config.obj_words;
         // Deterministic scattered word offset for this slot within the page.
-        let word0 =
-            crate::dist::hash_slot(page, slot, config.seed) % (64 - config.obj_words + 1);
+        let word0 = crate::dist::hash_slot(page, slot, config.seed) % (64 - config.obj_words + 1);
         for w in 0..this_obj_words {
             let rel = page * PAGE_SIZE as u64 + (word0 + w) * WORD_SIZE as u64;
             if is_read {
@@ -236,9 +236,7 @@ mod tests {
 
     #[test]
     fn presets_differ_in_density() {
-        assert!(
-            KvConfig::memcached(1000).objs_per_page > KvConfig::redis(1000).objs_per_page
-        );
+        assert!(KvConfig::memcached(1000).objs_per_page > KvConfig::redis(1000).objs_per_page);
         assert_eq!(KvConfig::cachelib(1000).key_dist, KeyDist::Zipf(0.6));
         assert_eq!(KvConfig::redis(1000).key_dist, KeyDist::Uniform);
     }

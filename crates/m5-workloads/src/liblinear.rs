@@ -77,11 +77,7 @@ impl LiblinearConfig {
 /// filtering: the hot page set (hundreds of pages) is deliberately larger
 /// than the LLC. Within a page, only a per-page subset of words is ever
 /// an active feature, giving the moderate sparsity of Figure 4.
-pub fn generate(
-    config: &LiblinearConfig,
-    base: VirtAddr,
-    target_accesses: u64,
-) -> ReplayWorkload {
+pub fn generate(config: &LiblinearConfig, base: VirtAddr, target_accesses: u64) -> ReplayWorkload {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let weight_pages = config.weight_pages();
     let page_zipf = ZipfSampler::new(weight_pages, config.zipf_theta);

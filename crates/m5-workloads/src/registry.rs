@@ -246,8 +246,8 @@ mod tests {
         assert_eq!(
             labels,
             [
-                "lib.", "bc", "bfs", "cc", "pr", "sssp", "tc", "cactu.", "foto.", "mcf",
-                "roms", "redis"
+                "lib.", "bc", "bfs", "cc", "pr", "sssp", "tc", "cactu.", "foto.", "mcf", "roms",
+                "redis"
             ]
         );
         assert_eq!(Benchmark::FIGURE4.len(), 14);

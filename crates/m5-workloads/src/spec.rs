@@ -171,8 +171,7 @@ pub fn roms(pages: u64, base: VirtAddr, target_accesses: u64, seed: u64) -> Repl
             // Interleaved hot-plane updates: `p_extra` per baseline plane
             // in expectation (integer part + Bernoulli remainder).
             if extra_total > 0 {
-                let n_extra =
-                    p_extra as u64 + u64::from(rng.gen::<f64>() < p_extra.fract());
+                let n_extra = p_extra as u64 + u64::from(rng.gen::<f64>() < p_extra.fract());
                 for _ in 0..n_extra {
                     let draw = rng.gen_range(0..extra_total);
                     let idx = hot_cdf.partition_point(|&(c, _)| c <= draw);
@@ -260,10 +259,16 @@ mod tests {
         let mut v: Vec<u64> = counts.values().copied().collect();
         v.sort_unstable();
         let skew = v[v.len() - 1] as f64 / v[v.len() / 2] as f64;
-        assert!(skew > 2.0, "hottest page should dominate the median ({skew})");
+        assert!(
+            skew > 2.0,
+            "hottest page should dominate the median ({skew})"
+        );
         let words = unique_words(&wl);
         let dense = words.values().filter(|w| w.len() >= 48).count();
-        assert!(dense as f64 / words.len() as f64 > 0.7, "mcf pages are dense");
+        assert!(
+            dense as f64 / words.len() as f64 > 0.7,
+            "mcf pages are dense"
+        );
     }
 
     #[test]

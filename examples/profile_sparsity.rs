@@ -60,7 +60,10 @@ fn main() {
         }
         let total = uniq.len().max(1) as f64;
         println!("unique 64B words touched per page:");
-        for (label, count) in ["1-4", "5-8", "9-16", "17-32", "33-64"].iter().zip(histogram) {
+        for (label, count) in ["1-4", "5-8", "9-16", "17-32", "33-64"]
+            .iter()
+            .zip(histogram)
+        {
             println!(
                 "  {label:>6} words: {:>5.1}% of pages",
                 100.0 * count as f64 / total

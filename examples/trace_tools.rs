@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * writes as f64 / back.len() as f64,
         &v[..v.len().min(5)]
     );
-    let span = back.last().map(|r| r.ts - back[0].ts).unwrap_or(Nanos::ZERO);
+    let span = back
+        .last()
+        .map(|r| r.ts - back[0].ts)
+        .unwrap_or(Nanos::ZERO);
     println!(
         "trace spans {span} of simulated time ({:.1} M DRAM accesses/s)",
         back.len() as f64 / span.as_secs_f64().max(1e-9) / 1e6

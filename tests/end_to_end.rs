@@ -62,16 +62,17 @@ fn migration_beats_no_migration_on_skewed_workloads() {
 #[test]
 fn every_daemon_completes_on_every_benchmark_class() {
     // One representative per workload family to keep CI quick.
-    for bench in [Benchmark::Redis, Benchmark::Pr, Benchmark::Mcf, Benchmark::Liblinear] {
+    for bench in [
+        Benchmark::Redis,
+        Benchmark::Pr,
+        Benchmark::Mcf,
+        Benchmark::Liblinear,
+    ] {
         for which in 0..3 {
             let report = match which {
                 0 => run_daemon(bench, &mut Anb::new(AnbConfig::default()), 2),
                 1 => run_daemon(bench, &mut Damon::new(DamonConfig::default()), 2),
-                _ => run_daemon(
-                    bench,
-                    &mut M5Manager::new(policy::simple_hpt_policy()),
-                    2,
-                ),
+                _ => run_daemon(bench, &mut M5Manager::new(policy::simple_hpt_policy()), 2),
             };
             assert_eq!(report.accesses, ACCESSES, "{bench}: short run");
             assert!(report.total_time > Nanos::ZERO);
@@ -99,7 +100,11 @@ fn pac_counts_exactly_the_cxl_reads() {
 #[test]
 fn m5_identification_is_cheaper_than_cpu_driven() {
     let anb = run_daemon(Benchmark::Mcf, &mut Anb::new(AnbConfig::record_only()), 4);
-    let damon = run_daemon(Benchmark::Mcf, &mut Damon::new(DamonConfig::record_only()), 4);
+    let damon = run_daemon(
+        Benchmark::Mcf,
+        &mut Damon::new(DamonConfig::record_only()),
+        4,
+    );
     let mut m5_daemon = M5Manager::new(m5::core::manager::M5Config {
         record_only: true,
         ..policy::simple_hpt_policy()

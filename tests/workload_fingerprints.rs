@@ -38,8 +38,16 @@ fn pct(counts: &[u64], p: f64) -> f64 {
 fn roms_is_the_most_skewed_spec_benchmark_at_dram_level() {
     let counts = pac_counts(Benchmark::Roms);
     let p50 = pct(&counts, 0.5).max(1.0);
-    assert!(pct(&counts, 0.90) / p50 >= 1.5, "p90 {}", pct(&counts, 0.90) / p50);
-    assert!(pct(&counts, 0.99) / p50 >= 5.0, "p99 {}", pct(&counts, 0.99) / p50);
+    assert!(
+        pct(&counts, 0.90) / p50 >= 1.5,
+        "p90 {}",
+        pct(&counts, 0.90) / p50
+    );
+    assert!(
+        pct(&counts, 0.99) / p50 >= 5.0,
+        "p99 {}",
+        pct(&counts, 0.99) / p50
+    );
     // ...and clearly more skewed than the uniform stencils. (A partial
     // final sweep bounds the stencil ratio at 2: consecutive sweep
     // counts.)
@@ -123,7 +131,11 @@ fn graph_kernels_touch_their_whole_layout_classes() {
     // PR must touch offsets, targets, and both rank arrays; its DRAM
     // traffic must dwarf the page count (real reuse).
     let counts = pac_counts(Benchmark::Pr);
-    assert!(counts.len() > 1_500, "pr touched only {} pages", counts.len());
+    assert!(
+        counts.len() > 1_500,
+        "pr touched only {} pages",
+        counts.len()
+    );
     let total: u64 = counts.iter().sum();
     assert!(total as usize > counts.len() * 50, "pr pages barely reused");
 }
