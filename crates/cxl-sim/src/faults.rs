@@ -357,6 +357,7 @@ impl FaultInjector {
 
     /// Arms every scheduled fault whose trigger time has passed. Called by
     /// the `System` on each access and migration; cheap when idle.
+    #[inline]
     pub fn poll(&mut self, now: Nanos) {
         while let Some(f) = self.schedule.get(self.next) {
             if f.at > now {
@@ -394,7 +395,24 @@ impl FaultInjector {
         }
     }
 
+    /// Whether the injector has nothing armed, queued, or in flight at
+    /// `now`: no unfired schedule entries, no open latency/stall/pressure
+    /// window, and no pending consumable faults. The `System` uses this to
+    /// skip per-access fault tracing entirely on fault-free runs.
+    #[inline]
+    pub fn quiescent(&self, now: Nanos) -> bool {
+        self.next >= self.schedule.len()
+            && now >= self.spike_until
+            && now >= self.stall_until
+            && now >= self.pressure_until
+            && self.poison_pending == 0
+            && self.copy_fail_pending == 0
+            && self.reset_steps.is_empty()
+            && self.device_queue.is_empty()
+    }
+
     /// Extra latency added to a CXL access at `now` (zero outside spikes).
+    #[inline]
     pub fn cxl_extra_latency(&self, now: Nanos) -> Nanos {
         if now < self.spike_until {
             self.spike_extra
@@ -404,6 +422,7 @@ impl FaultInjector {
     }
 
     /// Whether the controller is stalled (snoops dropped) at `now`.
+    #[inline]
     pub fn controller_stalled(&self, now: Nanos) -> bool {
         now < self.stall_until
     }
@@ -471,6 +490,7 @@ impl FaultInjector {
     }
 
     /// Pops the next queued device fault for controller delivery.
+    #[inline]
     pub fn pop_device_fault(&mut self) -> Option<DeviceFault> {
         if self.device_queue.is_empty() {
             None

@@ -14,8 +14,7 @@
 //!   Promoter must refuse promotion (§5.2).
 
 use crate::addr::{Pfn, Vpn};
-use crate::memory::NodeId;
-use std::collections::HashMap;
+use crate::memory::{NodeId, CXL_BASE_PFN};
 use std::fmt;
 
 /// PTE flag bits.
@@ -94,6 +93,67 @@ impl Pte {
     }
 }
 
+/// Sentinel for "frame backs no page" in [`FrameMap`] (a VPN never reaches
+/// 2^64 − 1: virtual addresses top out `PAGE_SHIFT` bits earlier).
+const NO_VPN: u64 = u64::MAX;
+
+/// The kernel's rmap as two direct-indexed arrays, one per memory node.
+///
+/// Both allocators hand out frames densely — DDR from PFN 0 upward, CXL
+/// from [`CXL_BASE_PFN`] upward — so `pfn - node_base` is a small dense
+/// index and the reverse lookup is a single array read instead of a
+/// `HashMap` probe on the migration/tracker path.
+#[derive(Clone, Debug, Default)]
+struct FrameMap {
+    ddr: Vec<u64>,
+    cxl: Vec<u64>,
+}
+
+impl FrameMap {
+    /// The per-node array and dense index for `pfn`.
+    #[inline]
+    fn slot(&self, pfn: Pfn) -> (&Vec<u64>, usize) {
+        match NodeId::of_pfn(pfn) {
+            NodeId::Ddr => (&self.ddr, pfn.0 as usize),
+            NodeId::Cxl => (&self.cxl, (pfn.0 - CXL_BASE_PFN) as usize),
+        }
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, pfn: Pfn) -> (&mut Vec<u64>, usize) {
+        match NodeId::of_pfn(pfn) {
+            NodeId::Ddr => (&mut self.ddr, pfn.0 as usize),
+            NodeId::Cxl => (&mut self.cxl, (pfn.0 - CXL_BASE_PFN) as usize),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, pfn: Pfn, vpn: Vpn) {
+        let (arr, i) = self.slot_mut(pfn);
+        if i >= arr.len() {
+            arr.resize(i + 1, NO_VPN);
+        }
+        arr[i] = vpn.0;
+    }
+
+    #[inline]
+    fn remove(&mut self, pfn: Pfn) {
+        let (arr, i) = self.slot_mut(pfn);
+        if let Some(slot) = arr.get_mut(i) {
+            *slot = NO_VPN;
+        }
+    }
+
+    #[inline]
+    fn get(&self, pfn: Pfn) -> Option<Vpn> {
+        let (arr, i) = self.slot(pfn);
+        match arr.get(i) {
+            Some(&v) if v != NO_VPN => Some(Vpn(v)),
+            _ => None,
+        }
+    }
+}
+
 /// A flat page table covering a dense virtual address range starting at VPN 0.
 ///
 /// Workload regions are handed out sequentially, so a `Vec` keeps lookups at
@@ -105,7 +165,7 @@ pub struct PageTable {
     /// Needed by components that identify pages physically — the CXL-side
     /// trackers report PFNs, and the Promoter must find the mapping to
     /// migrate.
-    rmap: HashMap<Pfn, Vpn>,
+    rmap: FrameMap,
     mapped: u64,
 }
 
@@ -152,15 +212,16 @@ impl PageTable {
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
         let e = self.entries.get_mut(vpn.0 as usize)?.take();
         if let Some(pte) = e {
-            self.rmap.remove(&pte.pfn);
+            self.rmap.remove(pte.pfn);
             self.mapped -= 1;
         }
         e
     }
 
     /// The VPN currently mapped to `pfn` (reverse lookup), if any.
+    #[inline]
     pub fn vpn_of(&self, pfn: Pfn) -> Option<Vpn> {
-        self.rmap.get(&pfn).copied()
+        self.rmap.get(pfn)
     }
 
     /// Looks up the entry for `vpn`.
@@ -185,7 +246,7 @@ impl PageTable {
         let old = pte.pfn;
         pte.pfn = new_pfn;
         pte.flags.set(PteFlags::DIRTY, false);
-        self.rmap.remove(&old);
+        self.rmap.remove(old);
         self.rmap.insert(new_pfn, vpn);
         old
     }

@@ -170,6 +170,54 @@ impl MigrationDaemon for NoMigration {
     }
 }
 
+/// Per-access telemetry deltas, accumulated locally and flushed to the
+/// [`Telemetry`] registry once per tick instead of once per access.
+///
+/// `Telemetry::counter_add` costs a `HashMap` probe per call; the access
+/// hot path bumps up to eight counters and one histogram per access, so on
+/// instrumented runs the probes dominate. This struct holds those deltas
+/// as plain array slots — indexed by node, snoop kind, or [`CostKind`] —
+/// and [`System::flush_telemetry`] merges them in one probe per metric.
+/// Flush points: every [`System::rollover_bandwidth`] (the Monitor tick),
+/// every [`System::telemetry_mut`] borrow (so external writers/snapshots
+/// never see a torn view), and the end of [`run`]. Counters only ever sum,
+/// so the final snapshot is identical to per-access recording.
+#[derive(Debug, Default)]
+struct TelemetryBatch {
+    pending: bool,
+    /// `[read, write]`.
+    accesses: [u64; 2],
+    /// `[hit, miss]`.
+    llc: [u64; 2],
+    hinting_faults: u64,
+    poison_repairs: u64,
+    /// Indexed like [`NodeId::ALL`]: `[ddr, cxl]`.
+    dram_reads: [u64; 2],
+    dram_writebacks: [u64; 2],
+    /// `[read, writeback, dropped]`.
+    snoops: [u64; 3],
+    /// Indexed like [`CostKind::ALL`].
+    kernel_ns: [u64; CostKind::ALL.len()],
+    kernel_events: [u64; CostKind::ALL.len()],
+    /// Access-latency scratch histograms: `[llc, ddr, cxl]`.
+    latency: [m5_telemetry::Log2Histogram; 3],
+}
+
+const BATCH_SNOOP_READ: usize = 0;
+const BATCH_SNOOP_WRITEBACK: usize = 1;
+const BATCH_SNOOP_DROPPED: usize = 2;
+const BATCH_LAT_LLC: usize = 0;
+const BATCH_LAT_DDR: usize = 1;
+const BATCH_LAT_CXL: usize = 2;
+
+#[inline]
+fn node_idx(node: NodeId) -> usize {
+    match node {
+        NodeId::Ddr => 0,
+        NodeId::Cxl => 1,
+    }
+}
+
 /// The composed tiered-memory machine.
 #[derive(Debug)]
 pub struct System {
@@ -194,6 +242,9 @@ pub struct System {
     promoter_retried: u64,
     promoter_gave_up: u64,
     telemetry: Telemetry,
+    /// Cached `telemetry.is_enabled()` so the access path tests one bool.
+    telemetry_on: bool,
+    batch: TelemetryBatch,
     fault_events_seen: usize,
     spike_span: Option<SpanId>,
     stall_span: Option<SpanId>,
@@ -231,6 +282,8 @@ impl System {
             promoter_retried: 0,
             promoter_gave_up: 0,
             telemetry: Telemetry::disabled(),
+            telemetry_on: false,
+            batch: TelemetryBatch::default(),
             fault_events_seen: 0,
             spike_span: None,
             stall_span: None,
@@ -244,18 +297,89 @@ impl System {
     /// instrumentation point to a single branch.
     pub fn install_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        self.telemetry_on = self.telemetry.is_enabled();
     }
 
     /// The telemetry bus (read-only: snapshots).
+    ///
+    /// Per-access `sim.*` counters accumulate in a local batch and become
+    /// visible at flush points (see [`System::flush_telemetry`]); a
+    /// snapshot taken between flushes can trail the current tick's
+    /// accesses. Borrow via [`System::telemetry_mut`] first — it flushes —
+    /// when an exact point-in-time view is needed.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
 
     /// The telemetry bus (mutable — daemons record manager-side metrics and
     /// spans through the system's bus so one snapshot covers the whole
-    /// stack).
+    /// stack). Flushes the per-access batch first, so external writers and
+    /// snapshot takers always see fully up-to-date counters.
     pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        self.flush_telemetry();
         &mut self.telemetry
+    }
+
+    /// Drains the per-access telemetry batch into the bus registry: one
+    /// probe per touched metric instead of one per access. Idempotent and
+    /// cheap when nothing is pending. Called automatically on
+    /// [`System::rollover_bandwidth`], [`System::telemetry_mut`], and at
+    /// the end of [`run`].
+    pub fn flush_telemetry(&mut self) {
+        if !self.batch.pending {
+            return;
+        }
+        let b = std::mem::take(&mut self.batch);
+        let t = &mut self.telemetry;
+        for (label, v) in [("read", b.accesses[0]), ("write", b.accesses[1])] {
+            if v > 0 {
+                t.counter_add("sim.accesses", label, v);
+            }
+        }
+        for (label, v) in [("hit", b.llc[0]), ("miss", b.llc[1])] {
+            if v > 0 {
+                t.counter_add("sim.llc", label, v);
+            }
+        }
+        if b.hinting_faults > 0 {
+            t.counter_add("sim.hinting_faults", "", b.hinting_faults);
+        }
+        if b.poison_repairs > 0 {
+            t.counter_add("sim.poison.repairs", "", b.poison_repairs);
+        }
+        for node in NodeId::ALL {
+            let i = node_idx(node);
+            if b.dram_reads[i] > 0 {
+                t.counter_add("sim.dram.reads", node.label(), b.dram_reads[i]);
+            }
+            if b.dram_writebacks[i] > 0 {
+                t.counter_add("sim.dram.writebacks", node.label(), b.dram_writebacks[i]);
+            }
+        }
+        for (label, i) in [
+            ("read", BATCH_SNOOP_READ),
+            ("writeback", BATCH_SNOOP_WRITEBACK),
+            ("dropped", BATCH_SNOOP_DROPPED),
+        ] {
+            if b.snoops[i] > 0 {
+                t.counter_add("sim.snoops", label, b.snoops[i]);
+            }
+        }
+        for (i, kind) in CostKind::ALL.iter().enumerate() {
+            if b.kernel_ns[i] > 0 {
+                t.counter_add("sim.kernel.ns", kind.label(), b.kernel_ns[i]);
+            }
+            if b.kernel_events[i] > 0 {
+                t.counter_add("sim.kernel.events", kind.label(), b.kernel_events[i]);
+            }
+        }
+        for (label, i) in [
+            ("llc", BATCH_LAT_LLC),
+            ("ddr", BATCH_LAT_DDR),
+            ("cxl", BATCH_LAT_CXL),
+        ] {
+            t.histogram_merge("sim.access.latency", label, &b.latency[i]);
+        }
     }
 
     /// Replaces the fault plan (resets the injector; already-armed windows
@@ -299,8 +423,21 @@ impl System {
     }
 
     /// Arms due faults and delivers queued device faults to the controller.
+    #[inline]
     fn service_faults(&mut self) {
-        self.faults.poll(self.clock.now());
+        let now = self.clock.now();
+        // Fast path for fault-free operation (every golden run, most
+        // benches): a quiescent injector with no open telemetry span and
+        // no unseen log entries makes the rest of this function a no-op.
+        if self.faults.quiescent(now)
+            && self.fault_events_seen == self.faults.log().len()
+            && self.spike_span.is_none()
+            && self.stall_span.is_none()
+            && self.pressure_span.is_none()
+        {
+            return;
+        }
+        self.faults.poll(now);
         while let Some(f) = self.faults.pop_device_fault() {
             self.controller.inject(f);
         }
@@ -508,52 +645,50 @@ impl System {
                 if !stalled {
                     self.controller.snoop(line, false, now);
                 }
-                self.telemetry.counter_add(
-                    "sim.snoops",
-                    if stalled { "dropped" } else { "read" },
-                    1,
-                );
+                if self.telemetry_on {
+                    self.batch.pending = true;
+                    self.batch.snoops[if stalled {
+                        BATCH_SNOOP_DROPPED
+                    } else {
+                        BATCH_SNOOP_READ
+                    }] += 1;
+                }
             }
             dram_node = Some(node);
         }
         if let Some(wb) = res.writeback {
             let wb_node = NodeId::of_pfn(wb.pfn());
             self.perfmon.record_writeback(wb_node);
-            self.telemetry
-                .counter_add("sim.dram.writebacks", wb_node.label(), 1);
+            if self.telemetry_on {
+                self.batch.pending = true;
+                self.batch.dram_writebacks[node_idx(wb_node)] += 1;
+            }
             if wb_node == NodeId::Cxl {
                 if !stalled {
                     self.controller.snoop(wb, true, now);
                 }
-                self.telemetry.counter_add(
-                    "sim.snoops",
-                    if stalled { "dropped" } else { "writeback" },
-                    1,
-                );
+                if self.telemetry_on {
+                    self.batch.snoops[if stalled {
+                        BATCH_SNOOP_DROPPED
+                    } else {
+                        BATCH_SNOOP_WRITEBACK
+                    }] += 1;
+                }
             }
         }
 
-        if self.telemetry.is_enabled() {
-            self.telemetry
-                .counter_add("sim.accesses", if is_write { "write" } else { "read" }, 1);
-            self.telemetry
-                .counter_add("sim.llc", if res.hit { "hit" } else { "miss" }, 1);
-            if hinting_fault {
-                self.telemetry.counter_add("sim.hinting_faults", "", 1);
-            }
-            if poisoned {
-                self.telemetry.counter_add("sim.poison.repairs", "", 1);
-            }
+        if self.telemetry_on {
+            self.batch.pending = true;
+            self.batch.accesses[is_write as usize] += 1;
+            self.batch.llc[!res.hit as usize] += 1;
+            self.batch.hinting_faults += hinting_fault as u64;
+            self.batch.poison_repairs += poisoned as u64;
             match dram_node {
                 Some(node) => {
-                    self.telemetry
-                        .counter_add("sim.dram.reads", node.label(), 1);
-                    self.telemetry
-                        .histogram_record("sim.access.latency", node.label(), latency.0);
+                    self.batch.dram_reads[node_idx(node)] += 1;
+                    self.batch.latency[BATCH_LAT_DDR + node_idx(node)].record(latency.0);
                 }
-                None => self
-                    .telemetry
-                    .histogram_record("sim.access.latency", "llc", latency.0),
+                None => self.batch.latency[BATCH_LAT_LLC].record(latency.0),
             }
         }
 
@@ -568,14 +703,14 @@ impl System {
         })
     }
 
-    /// Bills kernel work to the ledger and mirrors it to telemetry.
+    /// Bills kernel work to the ledger and mirrors it to telemetry (via
+    /// the per-tick batch; see [`TelemetryBatch`]).
     fn bill_kernel(&mut self, kind: CostKind, d: Nanos) {
         self.kernel.bill(kind, d);
-        if self.telemetry.is_enabled() {
-            self.telemetry
-                .counter_add("sim.kernel.ns", kind.label(), d.0);
-            self.telemetry
-                .counter_add("sim.kernel.events", kind.label(), 1);
+        if self.telemetry_on {
+            self.batch.pending = true;
+            self.batch.kernel_ns[kind as usize] += d.0;
+            self.batch.kernel_events[kind as usize] += 1;
         }
     }
 
@@ -593,6 +728,7 @@ impl System {
     /// the `sim.bw.bytes_per_sec` / `sim.nr_pages` telemetry gauges. This is
     /// the Monitor's sampling entry point (paper Table 1).
     pub fn rollover_bandwidth(&mut self) -> [BandwidthStats; 2] {
+        self.flush_telemetry();
         let now = self.clock.now();
         let stats = self.perfmon.rollover(now);
         if self.telemetry.is_enabled() {
@@ -1402,6 +1538,9 @@ where
     daemon.on_start(sys);
 
     let mut op_hist = LatencyHistogram::new();
+    // Scratch for `sim.op.latency`: merged once at the end instead of one
+    // registry probe per completed op.
+    let mut op_telemetry = m5_telemetry::Log2Histogram::new();
     let mut op_start = sys.now();
     let mut n = 0u64;
     while n < max_accesses {
@@ -1428,11 +1567,14 @@ where
             let now = sys.now();
             let op = now - op_start;
             op_hist.record(op);
-            sys.telemetry.histogram_record("sim.op.latency", "", op.0);
+            op_telemetry.record(op.0);
             op_start = now;
         }
     }
 
+    sys.flush_telemetry();
+    sys.telemetry
+        .histogram_merge("sim.op.latency", "", &op_telemetry);
     sys.report_since(&before, daemon.name().to_string(), n, op_hist)
 }
 
@@ -1835,6 +1977,6 @@ mod tests {
         };
         let report = run(&mut sys, &mut wl, &mut d, u64::MAX);
         assert!(d.ticks >= 5, "got {} ticks", d.ticks);
-        assert!(report.total_time > Nanos::from_micros(5 * d.ticks as u64 / 2));
+        assert!(report.total_time > Nanos::from_micros(5 * d.ticks / 2));
     }
 }

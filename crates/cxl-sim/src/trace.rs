@@ -37,10 +37,11 @@ impl TraceCapture {
     }
 
     /// A capture that stops recording after `limit` accesses (the trace
-    /// stays valid; later accesses are dropped).
+    /// stays valid; later accesses are dropped). Storage is reserved up
+    /// front so the capped capture never reallocates mid-run.
     pub fn with_limit(limit: usize) -> TraceCapture {
         TraceCapture {
-            records: Vec::new(),
+            records: Vec::with_capacity(limit.min(1 << 24)),
             limit: Some(limit),
         }
     }

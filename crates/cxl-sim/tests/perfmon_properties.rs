@@ -48,7 +48,7 @@ proptest! {
                     expect_wb[n as usize % 2] += 1;
                 }
                 Op::Rollover(dt) => {
-                    now = now + Nanos(dt);
+                    now += Nanos(dt);
                     let [ddr, cxl] = pm.rollover(now);
                     rolled[0] += ddr.reads;
                     rolled[1] += cxl.reads;

@@ -25,7 +25,7 @@ impl AccessStream for Stream {
             .region
             .base
             .offset(self.i * 64 % self.region.len_bytes());
-        let mut acc = if self.i % 4 == 0 {
+        let mut acc = if self.i.is_multiple_of(4) {
             Access::write(a)
         } else {
             Access::read(a)

@@ -435,9 +435,11 @@ mod tests {
     #[test]
     fn time_quota_caps_migration() {
         let (mut sys, mut wl, _) = setup(true);
-        let mut cfg = DamonConfig::default();
-        cfg.sample_interval = Nanos::from_micros(50);
-        cfg.migration_time_budget = 0.05;
+        let cfg = DamonConfig {
+            sample_interval: Nanos::from_micros(50),
+            migration_time_budget: 0.05,
+            ..Default::default()
+        };
         let mut damon = Damon::new(cfg);
         let report = run(&mut sys, &mut wl, &mut damon, u64::MAX);
         let spent = report.kernel.of(CostKind::Migration).0 as f64;

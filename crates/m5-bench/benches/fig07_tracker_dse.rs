@@ -10,15 +10,33 @@
 //! FPGA-feasible points are Space-Saving(50) vs CM-Sketch(up to 128K),
 //! where CM-Sketch wins decisively (≈0.97 average at 32K vs ≈0.49 at
 //! SS-50 in the paper).
+//!
+//! Execution: trace collection fans one workload per core, then the full
+//! (benchmark × tracker-config) grid is evaluated by the deterministic
+//! parallel driver — every cell replays its own tracker over a shared
+//! immutable trace, and cells merge in row-major order, so the printed
+//! table is identical to the old sequential nested loops.
 
 use cxl_sim::time::Nanos;
+use cxl_sim::trace::TraceRecord;
+use m5_bench::parallel::{grid_parallel, par_indexed};
 use m5_bench::{access_budget_from_args, banner, collect_trace, epoch_ratio};
-use m5_trackers::topk::{CmSketchTopK, SpaceSavingTopK};
+use m5_trackers::topk::{CmSketchTopK, SpaceSavingTopK, TopKAlgorithm};
 use m5_workloads::registry::Benchmark;
 
 const K: usize = 5;
 const SS_SWEEP: [usize; 5] = [50, 100, 512, 1024, 2048];
 const CM_SWEEP: [usize; 8] = [50, 100, 512, 1024, 2048, 8192, 32768, 131072];
+
+/// Builds the tracker a grid column names (`"SS-50"`, `"CM-32768"`).
+fn tracker_for(col: &str) -> Box<dyn TopKAlgorithm> {
+    let (alg, n) = col.split_once('-').expect("col is ALG-N");
+    let n: usize = n.parse().expect("N is numeric");
+    match alg {
+        "SS" => Box::new(SpaceSavingTopK::new(n, K)),
+        _ => Box::new(CmSketchTopK::with_total_entries(4, n, K, 11)),
+    }
+}
 
 fn main() {
     banner(
@@ -34,6 +52,27 @@ fn main() {
         Benchmark::Pr,
         Benchmark::Roms,
     ];
+    // Cap the in-memory traces: precision converges well before 8M
+    // records, and 13 tracker configs replay each one repeatedly.
+    let cap = (accesses as usize).min(8_000_000);
+    let traces: Vec<(Benchmark, Vec<TraceRecord>)> = par_indexed(benches.to_vec(), |b| {
+        (b, collect_trace(&b.spec(), accesses, cap, 7))
+    });
+    let trace_of = |label: &str| -> &[TraceRecord] {
+        &traces
+            .iter()
+            .find(|(b, _)| b.label() == label)
+            .expect("grid row is a collected benchmark")
+            .1
+    };
+
+    let rows: Vec<String> = benches.iter().map(|b| b.label().to_string()).collect();
+    let cols: Vec<String> = SS_SWEEP
+        .iter()
+        .map(|n| format!("SS-{n}"))
+        .chain(CM_SWEEP.iter().map(|n| format!("CM-{n}")))
+        .collect();
+
     // The paper queries HPT every 1 ms and HWT every 100 µs on hardware
     // that streams ~300K DRAM accesses per ms across 8–20 cores; the
     // single-core simulator issues ~6K per simulated ms, so periods are
@@ -43,40 +82,44 @@ fn main() {
         ("(b) HWT", "word", Nanos::from_millis(5)),
     ] {
         println!("\n--- {sub}: tracked key = {key_name}, query period = {period} ---");
+        let page_key = key_name == "page";
+        let cells = grid_parallel(&rows, &cols, |row, col| {
+            let keyed = |l: cxl_sim::addr::CacheLineAddr| if page_key { l.pfn().0 } else { l.0 };
+            let mut t = tracker_for(col);
+            epoch_ratio(trace_of(row), keyed, t.as_mut(), K, period)
+        });
+        let cell = |row: &str, col: &str| -> f64 {
+            cells
+                .iter()
+                .find(|c| c.row == row && c.col == col)
+                .expect("grid covers every cell")
+                .value
+        };
+
         print!("{:>10} {:>6}", "bench", "alg");
-        let sweep_max = CM_SWEEP.len();
-        for i in 0..sweep_max {
-            print!(" {:>8}", CM_SWEEP[i]);
+        for n in CM_SWEEP {
+            print!(" {n:>8}");
         }
         println!();
         let mut cm32k_sum = 0.0;
         let mut ss50_sum = 0.0;
-        for bench in benches {
-            // Cap the in-memory trace: precision converges well before 8M
-            // records, and 13 tracker configs replay it repeatedly.
-            let cap = (accesses as usize).min(8_000_000);
-            let trace = collect_trace(&bench.spec(), accesses, cap, 7);
-            let page_key = key_name == "page";
-            let keyed = |l: cxl_sim::addr::CacheLineAddr| if page_key { l.pfn().0 } else { l.0 };
-
-            print!("{:>10} {:>6}", bench.label(), "SS");
+        for row in &rows {
+            print!("{row:>10} {:>6}", "SS");
             for &n in &SS_SWEEP {
-                let mut t = SpaceSavingTopK::new(n, K);
-                let r = epoch_ratio(&trace, keyed, &mut t, K, period);
+                let r = cell(row, &format!("SS-{n}"));
                 print!(" {r:>8.3}");
                 if n == 50 {
                     ss50_sum += r;
                 }
             }
-            for _ in SS_SWEEP.len()..sweep_max {
+            for _ in SS_SWEEP.len()..CM_SWEEP.len() {
                 print!(" {:>8}", "-");
             }
             println!("  (N>2K not synthesizable)");
 
             print!("{:>10} {:>6}", "", "CM");
             for &n in &CM_SWEEP {
-                let mut t = CmSketchTopK::with_total_entries(4, n, K, 11);
-                let r = epoch_ratio(&trace, keyed, &mut t, K, period);
+                let r = cell(row, &format!("CM-{n}"));
                 print!(" {r:>8.3}");
                 if n == 32768 {
                     cm32k_sum += r;
@@ -93,12 +136,7 @@ fn main() {
     // §7.1's side note: sweeping the hash-row count H from 2 to 16 (at
     // fixed N = H × W) has only a secondary effect on precision.
     println!("\n--- H sweep at N = 32K (mcf trace, HPT) ---");
-    let trace = collect_trace(
-        &Benchmark::Mcf.spec(),
-        accesses,
-        (accesses as usize).min(8_000_000),
-        7,
-    );
+    let trace = trace_of(Benchmark::Mcf.label());
     print!("{:>10}", "H");
     for h in [2usize, 4, 8, 16] {
         print!(" {h:>8}");
@@ -107,7 +145,7 @@ fn main() {
     print!("{:>10}", "ratio");
     for h in [2usize, 4, 8, 16] {
         let mut t = CmSketchTopK::with_total_entries(h, 32 * 1024, K, 11);
-        let r = epoch_ratio(&trace, |l| l.pfn().0, &mut t, K, Nanos::from_millis(50));
+        let r = epoch_ratio(trace, |l| l.pfn().0, &mut t, K, Nanos::from_millis(50));
         print!(" {r:>8.3}");
     }
     println!();

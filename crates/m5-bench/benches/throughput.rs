@@ -1,0 +1,214 @@
+//! Wall-clock throughput bench: accesses/sec of the hot access pipeline.
+//!
+//! Two suites:
+//!
+//! * **golden** — the three golden workloads (`m5_bench::golden::GOLDENS`)
+//!   driven through the standard machine with the M5 manager and an
+//!   *enabled* telemetry bus, exactly like the golden differential harness.
+//!   This is the instrumented end-to-end pipeline the figure benches pay
+//!   for on every run.
+//! * **micro** — a random-access stream with no daemon and telemetry
+//!   disabled: the bare `System::access` path.
+//!
+//! Writes `BENCH_throughput.json` (override with `--out PATH`) so CI can
+//! track the performance trajectory, and with `--check BASELINE.json`
+//! exits non-zero if any suite regresses more than 20 % against the
+//! committed baseline.
+
+use cxl_sim::prelude::*;
+use cxl_sim::system::run;
+use m5_bench::golden::GOLDENS;
+use m5_core::manager::{M5Config, M5Manager};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One measured suite: name, accesses executed, best wall time observed.
+struct Measurement {
+    name: String,
+    accesses: u64,
+    best_wall_ns: u128,
+}
+
+impl Measurement {
+    fn accesses_per_sec(&self) -> f64 {
+        if self.best_wall_ns == 0 {
+            return 0.0;
+        }
+        self.accesses as f64 / (self.best_wall_ns as f64 / 1e9)
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn golden_suite(accesses: u64, reps: u32) -> Vec<Measurement> {
+    GOLDENS
+        .iter()
+        .map(|g| {
+            let spec = g.benchmark.spec();
+            let mut best = u128::MAX;
+            for _ in 0..reps {
+                let (mut sys, region) = m5_bench::standard_system(&spec);
+                sys.install_telemetry(Telemetry::enabled());
+                let mut wl = spec.build(region.base, accesses, g.seed);
+                let mut m5 = M5Manager::new(M5Config::default());
+                let t0 = Instant::now();
+                let report = run(&mut sys, &mut wl, &mut m5, accesses);
+                let wall = t0.elapsed().as_nanos();
+                assert_eq!(report.accesses, accesses, "workload ended early");
+                best = best.min(wall);
+            }
+            Measurement {
+                name: format!("golden_{}", g.name),
+                accesses,
+                best_wall_ns: best,
+            }
+        })
+        .collect()
+}
+
+fn micro_suite(accesses: u64, reps: u32) -> Measurement {
+    let pages = 4096u64;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let addrs: Vec<u64> = (0..65_536)
+        .map(|_| rng.gen_range(0..pages * 4096))
+        .collect();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let mut sys = System::new(
+            SystemConfig::scaled_default()
+                .with_cxl_frames(pages + 64)
+                .with_ddr_frames(pages),
+        );
+        let region = sys
+            .alloc_region(pages, Placement::AllOnCxl)
+            .expect("CXL sized to fit");
+        let t0 = Instant::now();
+        let mut i = 0usize;
+        for _ in 0..accesses {
+            let a = addrs[i];
+            i = (i + 1) & (addrs.len() - 1);
+            std::hint::black_box(sys.access(region.base.offset(a), false));
+        }
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    Measurement {
+        name: "micro_random".into(),
+        accesses,
+        best_wall_ns: best,
+    }
+}
+
+fn render_json(ms: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"suites\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"accesses\": {}, \"wall_ns\": {}, \
+             \"accesses_per_sec\": {:.0}}}{}\n",
+            m.name,
+            m.accesses,
+            m.best_wall_ns,
+            m.accesses_per_sec(),
+            if i + 1 < ms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, accesses_per_sec)` pairs from the bench's own JSON
+/// (a full parser is overkill for a format we also write).
+fn parse_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(aps) = line
+            .split("\"accesses_per_sec\": ")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), aps));
+    }
+    out
+}
+
+fn check_against(baseline_path: &str, ms: &[Measurement]) -> Result<(), Vec<String>> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_json(&text);
+    let mut failures = Vec::new();
+    for (name, base_aps) in &baseline {
+        let Some(m) = ms.iter().find(|m| &m.name == name) else {
+            failures.push(format!("suite '{name}' missing from this run"));
+            continue;
+        };
+        let got = m.accesses_per_sec();
+        if got < base_aps * 0.80 {
+            failures.push(format!(
+                "suite '{name}' regressed: {got:.0} accesses/s vs baseline \
+                 {base_aps:.0} (-{:.1}%, limit 20%)",
+                (1.0 - got / base_aps) * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let accesses: u64 = arg_value("--accesses")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let reps: u32 = arg_value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_throughput.json".into());
+
+    m5_bench::banner(
+        "throughput",
+        "wall-clock accesses/sec of the access pipeline",
+    );
+    let mut ms = golden_suite(accesses, reps);
+    ms.push(micro_suite(accesses, reps));
+    for m in &ms {
+        println!(
+            "{:<16} {:>12} accesses  {:>12} ns  {:>10.2} M accesses/s",
+            m.name,
+            m.accesses,
+            m.best_wall_ns,
+            m.accesses_per_sec() / 1e6
+        );
+    }
+
+    let json = render_json(&ms);
+    std::fs::write(&out_path, &json).expect("write throughput json");
+    println!("wrote {out_path}");
+
+    if let Some(baseline) = arg_value("--check") {
+        match check_against(&baseline, &ms) {
+            Ok(()) => println!("within 20% of baseline {baseline}"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

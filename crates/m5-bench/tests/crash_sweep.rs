@@ -8,10 +8,17 @@
 //! baseline up to the injection point — so sweeping `1..=baseline.steps`
 //! provably exercises a crash at every reachable transaction state.
 //!
+//! The sweep points are fanned across cores by the parallel driver
+//! (`m5_bench::parallel`); each point owns its whole `System`, and
+//! results merge in step order, so the sweep's artifact is byte-identical
+//! to the sequential driver's (`parallel_sweep_matches_sequential`
+//! asserts this on a real workload).
+//!
 //! Set `M5_SWEEP_ARTIFACTS=<dir>` to write a per-workload failure report
 //! there (CI uploads these when the sweep fails).
 
-use m5_bench::crash_sweep::{baseline, run_with_reset, SweepSpec, SWEEPS};
+use m5_bench::crash_sweep::{SweepSpec, SWEEPS};
+use m5_bench::parallel::{crash_sweep_parallel, crash_sweep_sequential};
 use std::path::PathBuf;
 
 fn artifact_dir() -> Option<PathBuf> {
@@ -21,64 +28,34 @@ fn artifact_dir() -> Option<PathBuf> {
 }
 
 fn sweep(s: &SweepSpec) {
-    let base = baseline(s);
+    let out = crash_sweep_parallel(s);
     assert!(
-        base.violations.is_empty(),
+        out.baseline.violations.is_empty(),
         "sweep '{}' baseline violates invariants: {:?}",
         s.name,
-        base.violations
+        out.baseline.violations
     );
     assert!(
-        base.committed > 0,
+        out.baseline.committed > 0,
         "sweep '{}' baseline never migrated — the sweep would be vacuous",
         s.name
     );
 
-    let mut report = vec![format!(
-        "# crash sweep '{}': baseline steps={} committed={}",
-        s.name, base.steps, base.committed
-    )];
-    let mut failures = 0usize;
-    for at_step in 1..=base.steps {
-        let r = run_with_reset(s, at_step);
-        let mut bad: Vec<String> = Vec::new();
-        // The run is byte-identical to the baseline until the append at
-        // `at_step`, which the baseline demonstrably reached — so the
-        // reset must actually strike.
-        if !r.fired {
-            bad.push("reset never fired".into());
-        }
-        if r.accesses != s.accesses {
-            bad.push(format!(
-                "run stopped at {}/{} accesses",
-                r.accesses, s.accesses
-            ));
-        }
-        bad.extend(r.violations.iter().map(|v| format!("invariant: {v}")));
-        if !bad.is_empty() {
-            failures += 1;
-            report.push(format!(
-                "step {at_step}: FAIL ({}) [steps={} committed={} final_recovery={:?}]",
-                bad.join("; "),
-                r.steps,
-                r.committed,
-                r.final_recovery
-            ));
-        }
-    }
-    report.push(format!("# {}/{} sweep points failed", failures, base.steps));
+    let failing = out.failing_steps(s.accesses);
     if let Some(dir) = artifact_dir() {
         let _ = std::fs::write(
             dir.join(format!("crash_sweep_{}.txt", s.name)),
-            report.join("\n"),
+            out.artifact(s.name),
         );
     }
-    assert_eq!(
-        failures,
-        0,
-        "crash sweep '{}' failed:\n{}",
+    assert!(
+        failing.is_empty(),
+        "crash sweep '{}': {}/{} points failed (steps {:?}):\n{}",
         s.name,
-        report.join("\n")
+        failing.len(),
+        out.baseline.steps,
+        failing,
+        out.artifact(s.name),
     );
 }
 
@@ -95,4 +72,25 @@ fn crash_sweep_kv() {
 #[test]
 fn crash_sweep_spec() {
     sweep(&SWEEPS[2]);
+}
+
+/// The parallel sweep driver must produce a byte-identical artifact to the
+/// strictly sequential one — the determinism guarantee the fan-out rests
+/// on (each point owns its `System`; merge order is step order).
+#[test]
+fn parallel_sweep_matches_sequential() {
+    // A reduced budget keeps two full sweeps in test-friendly time while
+    // still exercising real migrations and recoveries.
+    let spec = SweepSpec {
+        accesses: 10_000,
+        ..SWEEPS[0]
+    };
+    let par = crash_sweep_parallel(&spec);
+    let seq = crash_sweep_sequential(&spec);
+    assert_eq!(par.baseline.steps, seq.baseline.steps);
+    assert_eq!(
+        par.artifact(spec.name),
+        seq.artifact(spec.name),
+        "parallel sweep artifact diverged from sequential reference"
+    );
 }

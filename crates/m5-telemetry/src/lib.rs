@@ -156,6 +156,19 @@ impl Telemetry {
         }
     }
 
+    /// Merges a locally accumulated histogram into `name{label}` in one
+    /// registry probe — the flush half of a batched hot path. Merging is
+    /// exact (see [`Log2Histogram::merge`]); empty histograms are skipped
+    /// so an idle flush never materializes the metric.
+    pub fn histogram_merge(&mut self, name: &'static str, label: &'static str, h: &Log2Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        if let Some(inner) = &mut self.inner {
+            inner.histograms.entry(MetricKey::new(name, label)).merge(h);
+        }
+    }
+
     /// Opens a span at simulated time `ts_ns`. The label carries dynamic
     /// detail (an epoch number, a fault class).
     pub fn span_start(
@@ -369,5 +382,31 @@ mod tests {
     fn telemetry_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Telemetry>();
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_recording() {
+        let mut direct = Telemetry::enabled();
+        let mut batched = Telemetry::enabled();
+        let mut scratch = Log2Histogram::new();
+        for v in [0u64, 1, 7, 63, 64, 900, 4096, u64::MAX] {
+            direct.histogram_record("lat", "cxl", v);
+            scratch.record(v);
+        }
+        batched.histogram_merge("lat", "cxl", &scratch);
+        assert_eq!(direct.snapshot(), batched.snapshot());
+        // A second merge keeps accumulating.
+        batched.histogram_merge("lat", "cxl", &scratch);
+        assert_eq!(
+            batched.snapshot().histogram("lat", "cxl").unwrap().count,
+            16
+        );
+        // Merging an empty histogram neither fails nor creates the metric.
+        let mut idle = Telemetry::enabled();
+        idle.histogram_merge("lat", "cxl", &Log2Histogram::new());
+        assert!(idle.snapshot().histograms.is_empty());
+        scratch.clear();
+        assert_eq!(scratch.count(), 0);
+        assert_eq!(scratch.max(), 0);
     }
 }

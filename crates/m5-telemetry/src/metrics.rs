@@ -138,6 +138,28 @@ impl Log2Histogram {
     pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
         &self.counts
     }
+
+    /// Merges `other` into `self`. All aggregates combine exactly
+    /// (bucket-wise sums, total, sum, max), so recording N samples into a
+    /// scratch histogram and merging once is indistinguishable from
+    /// recording them here directly — the invariant the batched telemetry
+    /// hot path relies on.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty without releasing storage.
+    pub fn clear(&mut self) {
+        self.counts = [0; LOG2_BUCKETS];
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
 }
 
 /// A point-in-time copy of one histogram's aggregates, cheap to compare

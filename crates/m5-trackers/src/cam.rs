@@ -67,6 +67,7 @@ impl SortedCam {
     /// Offers `(addr, count)` to the CAM: refresh on hit, replace-min on
     /// miss if `count` beats the minimum. Returns `true` if the CAM now
     /// tracks `addr`.
+    #[inline]
     pub fn offer(&mut self, addr: u64, count: u64) -> bool {
         if let Some(pos) = self.entries.iter().position(|e| e.addr == addr) {
             self.entries[pos].count = self.entries[pos].count.max(count);

@@ -57,6 +57,7 @@ impl GroupedSpaceSaving {
     }
 
     /// Records one access to `addr`.
+    #[inline]
     pub fn update(&mut self, addr: u64) {
         self.total += 1;
         let range = self.group_range(addr);

@@ -75,6 +75,7 @@ impl SpaceSaving {
     }
 
     /// Records one access to `addr`.
+    #[inline]
     pub fn update(&mut self, addr: u64) {
         self.total += 1;
         if let Some(&pos) = self.index.get(&addr) {

@@ -59,6 +59,7 @@ impl StickySampling {
     }
 
     /// Records one access to `addr`.
+    #[inline]
     pub fn update(&mut self, addr: u64) {
         if self.window_left == 0 {
             self.advance_window();

@@ -602,7 +602,7 @@ mod tests {
         let parent = bfs(&g, &l, &mut rec, u64::MAX, 0);
         assert!(parent.iter().all(|&p| p != u32::MAX), "toy is connected");
         assert_eq!(parent[0], 0);
-        assert!(rec.len() > 0);
+        assert!(!rec.is_empty());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Implements real data parallelism on `std::thread::scope`: a work queue
+//! of `(index, item)` pairs drained by one worker per available core, with
+//! each result written back into its original index slot. Consumers
+//! therefore observe results in **deterministic input order** no matter
+//! how the OS schedules the workers — the property the m5-bench parallel
+//! driver's byte-identical-artifacts guarantee rests on.
+//!
+//! Surface kept rayon-compatible so swapping in the real crate is a
+//! `Cargo.toml` edit: `prelude::*`, `par_iter()` / `into_par_iter()`,
+//! `map`, `collect`, `for_each`, plus top-level `join` and
+//! `current_num_threads`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items`, returning results in input order.
+///
+/// With one core (or one item) this degenerates to a sequential loop with
+/// zero thread overhead; otherwise workers pull from a shared queue and
+/// deposit results by index. A panic in any worker propagates when the
+/// scope joins, matching rayon.
+fn run_par<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop_front();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        *slots[i].lock().expect("slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: right side panicked"))
+    })
+}
+
+/// A materialized parallel iterator: items are collected up front and
+/// fanned out when a consuming adapter runs.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A `map` adapter over [`ParIter`].
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_par(self.items, &|t| f(t));
+    }
+
+    /// Collects the items (identity map) preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        T: Send,
+        C: FromParallelIterator<T>,
+    {
+        C::from_ordered_vec(run_par(self.items, &|t| t))
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> Map<T, F> {
+    /// Runs the mapped computation in parallel, collecting results in
+    /// input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(run_par(self.items, &self.f))
+    }
+
+    /// Runs the mapped computation for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        run_par(self.items, &|t| g(f(t)));
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references yield a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// Converts into a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slice_references() {
+        let data = vec![3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let count = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        let (a, b) = join(|| 40 + 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        (0..8usize).into_par_iter().for_each(|i| {
+            if i == 3 {
+                panic!("boom");
+            }
+        });
+    }
+}
