@@ -411,6 +411,21 @@ impl FaultInjector {
             && self.device_queue.is_empty()
     }
 
+    /// The trigger time of the earliest scheduled fault [`poll`] has not
+    /// yet armed, or `None` when the schedule is exhausted. Combined with
+    /// [`quiescent`], this bounds how long the injector is *guaranteed* to
+    /// stay quiescent: a quiescent injector cannot open a window, queue a
+    /// device fault, or arm a consumable before this instant, so the batch
+    /// driver hoists every per-access fault check out of its inner loop up
+    /// to it.
+    ///
+    /// [`poll`]: FaultInjector::poll
+    /// [`quiescent`]: FaultInjector::quiescent
+    #[inline]
+    pub fn next_scheduled(&self) -> Option<Nanos> {
+        self.schedule.get(self.next).map(|f| f.at)
+    }
+
     /// Extra latency added to a CXL access at `now` (zero outside spikes).
     #[inline]
     pub fn cxl_extra_latency(&self, now: Nanos) -> Nanos {

@@ -58,6 +58,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod chunk;
 pub mod config;
 pub mod controller;
 pub mod faults;
@@ -84,6 +85,7 @@ pub mod prelude {
         WORD_SIZE,
     };
     pub use crate::cache::LlcConfig;
+    pub use crate::chunk::AccessChunk;
     pub use crate::config::{Placement, SystemConfig};
     pub use crate::controller::{CxlDevice, DeviceHandle};
     pub use crate::faults::{
@@ -97,7 +99,8 @@ pub mod prelude {
     pub use crate::perfmon::BandwidthStats;
     pub use crate::report::{HealthReport, RunReport};
     pub use crate::system::{
-        Access, AccessOutcome, AccessStream, MigrationDaemon, System, SystemStats,
+        Access, AccessOutcome, AccessStream, BatchPause, ChunkedRun, MigrationDaemon, System,
+        SystemStats,
     };
     pub use crate::time::Nanos;
     pub use m5_telemetry::{

@@ -54,6 +54,19 @@ impl PteFlags {
         self.0 & Self::CXL_BOUND != 0
     }
 
+    /// A copy with the present bit set.
+    pub fn with_present(self) -> PteFlags {
+        PteFlags(self.0 | Self::PRESENT)
+    }
+    /// A copy with the accessed bit set.
+    pub fn with_accessed(self) -> PteFlags {
+        PteFlags(self.0 | Self::ACCESSED)
+    }
+    /// A copy with the dirty bit set.
+    pub fn with_dirty(self) -> PteFlags {
+        PteFlags(self.0 | Self::DIRTY)
+    }
+
     fn set(&mut self, bit: u8, v: bool) {
         if v {
             self.0 |= bit;
@@ -91,11 +104,28 @@ impl Pte {
     pub fn node(&self) -> NodeId {
         NodeId::of_pfn(self.pfn)
     }
+
+    /// The unmapped-slot sentinel (see [`NO_PFN`]).
+    const UNMAPPED: Pte = Pte {
+        pfn: Pfn(NO_PFN),
+        flags: PteFlags(0),
+    };
+
+    #[inline]
+    fn is_mapped(&self) -> bool {
+        self.pfn.0 != NO_PFN
+    }
 }
 
 /// Sentinel for "frame backs no page" in [`FrameMap`] (a VPN never reaches
 /// 2^64 − 1: virtual addresses top out `PAGE_SHIFT` bits earlier).
 const NO_VPN: u64 = u64::MAX;
+
+/// Unmapped-slot sentinel PFN: `Option<Pte>` has no niche (all flag-byte
+/// values are inhabited), so storing options would pad every slot to
+/// 24 bytes. A sentinel keeps the table at 16 bytes/entry — a third less
+/// random-lookup footprint on the access hot path.
+const NO_PFN: u64 = u64::MAX;
 
 /// The kernel's rmap as two direct-indexed arrays, one per memory node.
 ///
@@ -160,7 +190,7 @@ impl FrameMap {
 /// array-index cost even for multi-hundred-thousand-page footprints.
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    entries: Vec<Option<Pte>>,
+    entries: Vec<Pte>,
     /// Reverse map (the kernel's rmap): which VPN a frame currently backs.
     /// Needed by components that identify pages physically — the CXL-side
     /// trackers report PFNs, and the Promoter must find the mapping to
@@ -194,28 +224,30 @@ impl PageTable {
     pub fn map(&mut self, vpn: Vpn, pfn: Pfn) {
         let idx = vpn.0 as usize;
         if idx >= self.entries.len() {
-            self.entries.resize(idx + 1, None);
+            self.entries.resize(idx + 1, Pte::UNMAPPED);
         }
-        debug_assert!(self.entries[idx].is_none(), "{vpn:?} already mapped");
-        if self.entries[idx].is_some() {
+        debug_assert!(!self.entries[idx].is_mapped(), "{vpn:?} already mapped");
+        if self.entries[idx].is_mapped() {
             self.unmap(vpn);
         }
-        self.entries[idx] = Some(Pte {
+        self.entries[idx] = Pte {
             pfn,
             flags: PteFlags::new_mapped(),
-        });
+        };
         self.rmap.insert(pfn, vpn);
         self.mapped += 1;
     }
 
     /// Removes the mapping for `vpn`, returning the old entry.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
-        let e = self.entries.get_mut(vpn.0 as usize)?.take();
-        if let Some(pte) = e {
-            self.rmap.remove(pte.pfn);
-            self.mapped -= 1;
+        let slot = self.entries.get_mut(vpn.0 as usize)?;
+        if !slot.is_mapped() {
+            return None;
         }
-        e
+        let pte = std::mem::replace(slot, Pte::UNMAPPED);
+        self.rmap.remove(pte.pfn);
+        self.mapped -= 1;
+        Some(pte)
     }
 
     /// The VPN currently mapped to `pfn` (reverse lookup), if any.
@@ -225,13 +257,17 @@ impl PageTable {
     }
 
     /// Looks up the entry for `vpn`.
+    #[inline]
     pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
-        self.entries.get(vpn.0 as usize)?.as_ref()
+        self.entries.get(vpn.0 as usize).filter(|p| p.is_mapped())
     }
 
     /// Mutably looks up the entry for `vpn`.
+    #[inline]
     pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
-        self.entries.get_mut(vpn.0 as usize)?.as_mut()
+        self.entries
+            .get_mut(vpn.0 as usize)
+            .filter(|p| p.is_mapped())
     }
 
     /// Repoints `vpn` at a new frame (used by migration). Flags other than
@@ -290,6 +326,18 @@ impl PageTable {
         }
     }
 
+    /// Overwrites the flag byte for `vpn` in one lookup. The access hot
+    /// path reads the PTE once, accumulates its present/accessed/dirty
+    /// updates locally, and stores them here only when something actually
+    /// changed — the table is large enough that every lookup is a likely
+    /// cache miss, and in steady state most flag updates are redundant.
+    #[inline]
+    pub fn store_flags(&mut self, vpn: Vpn, flags: PteFlags) {
+        if let Some(pte) = self.get_mut(vpn) {
+            pte.flags = flags;
+        }
+    }
+
     /// Sets the dirty bit (write access).
     pub fn set_dirty(&mut self, vpn: Vpn) {
         if let Some(pte) = self.get_mut(vpn) {
@@ -316,7 +364,8 @@ impl PageTable {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|pte| (Vpn(i as u64), pte)))
+            .filter(|(_, e)| e.is_mapped())
+            .map(|(i, e)| (Vpn(i as u64), e))
     }
 
     /// Iterates over mapped pages currently resident on `node`.

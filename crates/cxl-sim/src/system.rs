@@ -26,6 +26,7 @@
 
 use crate::addr::{CacheLineAddr, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
 use crate::cache::Llc;
+use crate::chunk::{AccessChunk, CHUNK_ADDR_MASK, CHUNK_OP_END_BIT, CHUNK_WRITE_BIT};
 use crate::config::{Placement, SystemConfig};
 use crate::controller::{CxlController, CxlDevice, DeviceHandle};
 use crate::faults::{FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
@@ -114,6 +115,29 @@ impl Access {
 pub trait AccessStream {
     /// Produces the next access, or `None` when the workload is complete.
     fn next_access(&mut self) -> Option<Access>;
+
+    /// Appends accesses to `chunk` until it is full or the stream ends,
+    /// returning how many were appended (0 means the stream is done).
+    ///
+    /// The default implementation loops [`AccessStream::next_access`], so
+    /// every stream batches correctly; generators with a cheaper bulk path
+    /// (recorded traces, co-runners) override it. Implementations must
+    /// produce exactly the `next_access` sequence — the equivalence is what
+    /// lets the chunked run driver replace the per-access loop
+    /// byte-identically.
+    fn fill_chunk(&mut self, chunk: &mut AccessChunk) -> usize {
+        let mut n = 0;
+        while !chunk.is_full() {
+            match self.next_access() {
+                Some(a) => {
+                    chunk.push(a);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// The result of one [`System::access`].
@@ -577,11 +601,6 @@ impl System {
         vaddr: VirtAddr,
         is_write: bool,
     ) -> Result<AccessOutcome, SimError> {
-        let vpn = vaddr.vpn();
-        let costs = self.config.costs;
-        let mut latency = Nanos::ZERO;
-        let mut hinting_fault = false;
-
         self.service_faults();
 
         // Context-switch-style full TLB flush: the passive invalidation that
@@ -593,28 +612,61 @@ impl System {
             }
         }
 
+        self.access_core(vaddr, is_write, true)
+    }
+
+    /// The access pipeline proper: paging, TLB, LLC, DRAM, telemetry.
+    ///
+    /// `faults_active = false` is the batch fast path: the caller has
+    /// proven the injector quiescent up to a horizon (no stall window, no
+    /// latency spike, no pending poison), so the per-access fault queries
+    /// compile down to constants. With a quiescent injector both variants
+    /// are exactly equivalent — `controller_stalled` is false,
+    /// `cxl_extra_latency` is zero, `take_poisoned_read` is false — which
+    /// keeps the chunked driver byte-identical to the per-access loop.
+    #[inline]
+    fn access_core(
+        &mut self,
+        vaddr: VirtAddr,
+        is_write: bool,
+        faults_active: bool,
+    ) -> Result<AccessOutcome, SimError> {
+        let vpn = vaddr.vpn();
+        let costs = self.config.costs;
+        let mut latency = Nanos::ZERO;
+        let mut hinting_fault = false;
+
         let pte = match self.page_table.get(vpn) {
             Some(p) => *p,
             None => return Err(SimError::Unmapped(vaddr)),
         };
+        // Flag updates accumulate locally and are stored once at the end:
+        // nothing between here and the store reads the page table, and in
+        // steady state (accessed already set, page already dirty) the store
+        // is skipped entirely, saving a second random table lookup.
+        let mut flags = pte.flags;
 
-        if !pte.flags.present() {
+        if !flags.present() {
             // Soft (hinting) page fault: kernel re-establishes the mapping.
             hinting_fault = true;
             self.hinting_faults += 1;
             self.bill_kernel(CostKind::HintingFault, costs.hinting_fault);
             latency += costs.hinting_fault;
-            self.page_table.set_present(vpn);
+            flags = flags.with_present();
         }
 
         if !self.tlb.lookup(vpn) {
             latency += costs.page_walk;
-            self.page_table.set_accessed(vpn);
+            flags = flags.with_accessed();
             self.tlb.insert(vpn);
         }
 
         if is_write {
-            self.page_table.set_dirty(vpn);
+            flags = flags.with_dirty();
+        }
+
+        if flags != pte.flags {
+            self.page_table.store_flags(vpn, flags);
         }
 
         let pfn = pte.pfn;
@@ -626,21 +678,23 @@ impl System {
         let mut dram_node = None;
         let mut poisoned = false;
         let now = self.clock.now();
-        let stalled = self.faults.controller_stalled(now);
+        let stalled = faults_active && self.faults.controller_stalled(now);
         if !res.hit {
             let node = NodeId::of_pfn(pfn);
             latency += self.memory.node(node).access_latency();
             self.perfmon.record_read(node);
             if node == NodeId::Cxl {
-                latency += self.faults.cxl_extra_latency(now);
-                if self.faults.take_poisoned_read() {
-                    // Uncorrectable ECC on the fill: the kernel's
-                    // memory-failure path isolates the line, re-fetches,
-                    // and resumes the load — slow but never fatal.
-                    poisoned = true;
-                    self.faults.note_poison_repaired();
-                    self.bill_kernel(CostKind::DaemonOther, costs.poison_repair);
-                    latency += costs.poison_repair;
+                if faults_active {
+                    latency += self.faults.cxl_extra_latency(now);
+                    if self.faults.take_poisoned_read() {
+                        // Uncorrectable ECC on the fill: the kernel's
+                        // memory-failure path isolates the line, re-fetches,
+                        // and resumes the load — slow but never fatal.
+                        poisoned = true;
+                        self.faults.note_poison_repaired();
+                        self.bill_kernel(CostKind::DaemonOther, costs.poison_repair);
+                        latency += costs.poison_repair;
+                    }
                 }
                 if !stalled {
                     self.controller.snoop(line, false, now);
@@ -701,6 +755,121 @@ impl System {
             hinting_fault,
             poisoned,
         })
+    }
+
+    /// Executes accesses from `chunk` starting at index `from`, returning
+    /// the index of the first unexecuted access and why the batch paused.
+    ///
+    /// This is the batch core of the chunked run pipeline: instead of
+    /// paying the epoch/fault/flush checks on every access, it computes the
+    /// distance to the next *boundary* — the daemon's wake `deadline`, the
+    /// periodic TLB flush, and the fault injector's next scheduled event —
+    /// once, and runs a tight loop of bare [`System::access_core`] calls up
+    /// to it. Accesses at or past a boundary fall back to the fully-checked
+    /// [`System::try_access`] path one at a time, so the observable
+    /// behaviour is identical to calling [`System::access`] in a loop.
+    ///
+    /// Sequencing contract (mirrors the per-access [`run`] loop):
+    ///
+    /// * at least one access is executed per call, even with
+    ///   `deadline <= now` — the per-access loop likewise forces progress
+    ///   after its bounded tick dispatch;
+    /// * the batch pauses *before* the first access whose start time has
+    ///   reached `deadline` (the driver dispatches daemon ticks, then
+    ///   resumes);
+    /// * the batch pauses *after* an access that took a hinting fault, so
+    ///   the driver can deliver [`MigrationDaemon::on_fault`] in order.
+    ///
+    /// Op-latency state lives in `st` so one [`BatchState`] spans many
+    /// chunks (ops may straddle chunk boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an access touches an unmapped address, like
+    /// [`System::access`].
+    pub fn access_batch(
+        &mut self,
+        chunk: &AccessChunk,
+        from: usize,
+        max_accesses: u64,
+        deadline: Option<Nanos>,
+        st: &mut BatchState,
+    ) -> (usize, BatchPause) {
+        let words = chunk.words();
+        let mut idx = from;
+        let mut executed = false;
+        loop {
+            if idx >= words.len() {
+                return (idx, BatchPause::Chunk);
+            }
+            if st.n >= max_accesses {
+                return (idx, BatchPause::Budget);
+            }
+            if executed {
+                if let Some(d) = deadline {
+                    if self.clock.now() >= d {
+                        return (idx, BatchPause::Wake);
+                    }
+                }
+            }
+
+            // Hot segment: while the injector is provably quiescent and no
+            // flush or wake boundary has been reached, `service_faults`,
+            // the flush-interval check, and the per-access fault queries
+            // are all no-ops — skip them wholesale up to the horizon.
+            let now = self.clock.now();
+            let quiet = self.faults.quiescent(now)
+                && self.fault_events_seen == self.faults.log().len()
+                && self.spike_span.is_none()
+                && self.stall_span.is_none()
+                && self.pressure_span.is_none();
+            if quiet {
+                let mut horizon = deadline.unwrap_or(Nanos(u64::MAX));
+                if let Some(interval) = self.config.tlb_flush_interval {
+                    horizon = horizon.min(self.last_tlb_flush + interval);
+                }
+                if let Some(at) = self.faults.next_scheduled() {
+                    horizon = horizon.min(at);
+                }
+                if now < horizon {
+                    while idx < words.len() && st.n < max_accesses && self.clock.now() < horizon {
+                        let w = words[idx];
+                        let out = self
+                            .access_core(
+                                VirtAddr(w & CHUNK_ADDR_MASK),
+                                w & CHUNK_WRITE_BIT != 0,
+                                false,
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        idx += 1;
+                        st.n += 1;
+                        if w & CHUNK_OP_END_BIT != 0 {
+                            st.record_op_end(self.clock.now());
+                        }
+                        if out.hinting_fault {
+                            return (idx, BatchPause::Fault(VirtAddr(w & CHUNK_ADDR_MASK).vpn()));
+                        }
+                    }
+                    executed = true;
+                    continue;
+                }
+            }
+
+            // Boundary (or non-quiescent injector): one fully-checked
+            // access, then re-evaluate.
+            let w = words[idx];
+            let vaddr = VirtAddr(w & CHUNK_ADDR_MASK);
+            let out = self.access(vaddr, w & CHUNK_WRITE_BIT != 0);
+            idx += 1;
+            st.n += 1;
+            executed = true;
+            if w & CHUNK_OP_END_BIT != 0 {
+                st.record_op_end(self.clock.now());
+            }
+            if out.hinting_fault {
+                return (idx, BatchPause::Fault(vaddr.vpn()));
+            }
+        }
     }
 
     /// Bills kernel work to the ledger and mirrors it to telemetry (via
@@ -1524,11 +1693,202 @@ pub struct SystemStats {
     pub promoter_gave_up: u64,
 }
 
+/// Why [`System::access_batch`] returned control to the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPause {
+    /// Every access in the chunk (from the starting index) was executed.
+    Chunk,
+    /// The access budget (`max_accesses`) was exhausted.
+    Budget,
+    /// The daemon's wake deadline was reached before the next access.
+    Wake,
+    /// The last executed access took a hinting fault on this page; the
+    /// driver must deliver [`MigrationDaemon::on_fault`] before resuming.
+    Fault(Vpn),
+}
+
+/// Per-run state threaded through [`System::access_batch`] calls: the
+/// access count and the op-latency accumulators (ops may straddle chunk
+/// boundaries, so this outlives any single chunk).
+#[derive(Clone, Debug)]
+pub struct BatchState {
+    op_hist: LatencyHistogram,
+    /// Scratch for `sim.op.latency`: merged once at the end instead of one
+    /// registry probe per completed op.
+    op_telemetry: m5_telemetry::Log2Histogram,
+    op_start: Nanos,
+    n: u64,
+}
+
+impl BatchState {
+    /// Fresh state; `start` is the simulated time the run begins (the
+    /// first op is measured from here).
+    pub fn new(start: Nanos) -> BatchState {
+        BatchState {
+            op_hist: LatencyHistogram::new(),
+            op_telemetry: m5_telemetry::Log2Histogram::new(),
+            op_start: start,
+            n: 0,
+        }
+    }
+
+    /// Accesses executed so far.
+    pub fn accesses(&self) -> u64 {
+        self.n
+    }
+
+    #[inline]
+    fn record_op_end(&mut self, now: Nanos) {
+        let op = now - self.op_start;
+        self.op_hist.record(op);
+        self.op_telemetry.record(op.0);
+        self.op_start = now;
+    }
+}
+
+/// The chunk-level run driver: owns the report baseline and the
+/// [`BatchState`], and turns fully-generated [`AccessChunk`]s into
+/// simulated accesses with daemon wakeups and fault delivery interleaved
+/// exactly as the per-access loop would.
+///
+/// [`run_chunked`] is the everything-in-one-thread assembly; `m5-bench`
+/// builds an overlapped double-buffered driver from the same three calls
+/// (`begin` / `drive` / `finish`).
+#[derive(Debug)]
+pub struct ChunkedRun {
+    before: SystemStats,
+    st: BatchState,
+}
+
+impl ChunkedRun {
+    /// Captures the report baseline and starts the daemon (in that order,
+    /// matching the per-access loop).
+    pub fn begin<D>(sys: &mut System, daemon: &mut D) -> ChunkedRun
+    where
+        D: MigrationDaemon + ?Sized,
+    {
+        let before = sys.stats();
+        daemon.on_start(sys);
+        let st = BatchState::new(sys.now());
+        ChunkedRun { before, st }
+    }
+
+    /// Accesses executed so far.
+    pub fn accesses(&self) -> u64 {
+        self.st.n
+    }
+
+    /// Executes one chunk to completion (or until the budget is hit),
+    /// dispatching due daemon wakeups between batch segments and
+    /// delivering hinting faults in order. Returns whether budget remains.
+    pub fn drive<D>(
+        &mut self,
+        sys: &mut System,
+        daemon: &mut D,
+        chunk: &AccessChunk,
+        max_accesses: u64,
+    ) -> bool
+    where
+        D: MigrationDaemon + ?Sized,
+    {
+        let mut idx = 0;
+        while idx < chunk.len() && self.st.n < max_accesses {
+            // Dispatch due wakeups (bounded to avoid a daemon that never
+            // reschedules wedging the loop).
+            let mut ticks = 0;
+            while let Some(w) = daemon.next_wake() {
+                if w > sys.now() || ticks >= 64 {
+                    break;
+                }
+                daemon.on_tick(sys);
+                ticks += 1;
+            }
+
+            let deadline = daemon.next_wake();
+            let (next, pause) = sys.access_batch(chunk, idx, max_accesses, deadline, &mut self.st);
+            idx = next;
+            if let BatchPause::Fault(vpn) = pause {
+                daemon.on_fault(vpn, sys);
+            }
+        }
+        self.st.n < max_accesses
+    }
+
+    /// Flushes telemetry and assembles the [`RunReport`].
+    pub fn finish<D>(self, sys: &mut System, daemon: &D) -> RunReport
+    where
+        D: MigrationDaemon + ?Sized,
+    {
+        sys.flush_telemetry();
+        sys.telemetry
+            .histogram_merge("sim.op.latency", "", &self.st.op_telemetry);
+        sys.report_since(
+            &self.before,
+            daemon.name().to_string(),
+            self.st.n,
+            self.st.op_hist,
+        )
+    }
+}
+
+/// Default chunk capacity for [`run`]: big enough to amortise the
+/// boundary checks, small enough that two live chunks stay cache-resident.
+pub const DEFAULT_CHUNK_ACCESSES: usize = 4096;
+
 /// Drives `workload` through `sys` under `daemon` for at most
 /// `max_accesses` accesses (or until the stream ends), returning a report
 /// of everything that happened during this run (deltas, so a `System` may
 /// be reused across runs).
+///
+/// This is the chunked pipeline ([`run_chunked`] with
+/// [`DEFAULT_CHUNK_ACCESSES`]); it produces byte-identical results to the
+/// per-access reference loop [`run_per_access`].
 pub fn run<W, D>(sys: &mut System, workload: &mut W, daemon: &mut D, max_accesses: u64) -> RunReport
+where
+    W: AccessStream + ?Sized,
+    D: MigrationDaemon + ?Sized,
+{
+    run_chunked(sys, workload, daemon, max_accesses, DEFAULT_CHUNK_ACCESSES)
+}
+
+/// [`run`] with an explicit chunk capacity. The access budget caps every
+/// fill, so the workload cursor never advances past `max_accesses` —
+/// protocols that resume the same stream across calls (ratio protocols)
+/// see exactly the per-access loop's consumption.
+pub fn run_chunked<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+    chunk_capacity: usize,
+) -> RunReport
+where
+    W: AccessStream + ?Sized,
+    D: MigrationDaemon + ?Sized,
+{
+    let mut run = ChunkedRun::begin(sys, daemon);
+    let mut chunk = AccessChunk::with_capacity(chunk_capacity);
+    while run.accesses() < max_accesses {
+        chunk.clear();
+        let left = max_accesses - run.accesses();
+        chunk.set_limit(left.min(chunk.capacity() as u64) as usize);
+        if workload.fill_chunk(&mut chunk) == 0 {
+            break;
+        }
+        run.drive(sys, daemon, &chunk, max_accesses);
+    }
+    run.finish(sys, daemon)
+}
+
+/// The per-access reference driver: pull one access, dispatch due
+/// wakeups, execute, deliver faults. Kept as the semantic baseline the
+/// chunked drivers are differentially tested against — do not optimise.
+pub fn run_per_access<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+) -> RunReport
 where
     W: AccessStream + ?Sized,
     D: MigrationDaemon + ?Sized,

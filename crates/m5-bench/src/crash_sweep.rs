@@ -15,10 +15,10 @@
 //! `tests/crash_sweep.rs`; CI runs them in release mode and uploads the
 //! per-point failure reports (`M5_SWEEP_ARTIFACTS=<dir>`) when they fail.
 
+use crate::pipeline::run_overlapped;
 use cxl_sim::faults::{FaultKind, FaultPlan};
 use cxl_sim::journal::RecoveryReport;
 use cxl_sim::prelude::*;
-use cxl_sim::system::run;
 use m5_core::manager::{M5Config, M5Manager};
 use m5_workloads::registry::Benchmark;
 
@@ -86,7 +86,7 @@ fn run_spec(s: &SweepSpec, plan: &FaultPlan, at_step: Option<u64>) -> SweepRun {
     let (mut sys, region) = crate::standard_system_with_faults(&spec, plan);
     let mut wl = spec.build(region.base, s.accesses, s.seed);
     let mut m5 = M5Manager::new(M5Config::default());
-    let report = run(&mut sys, &mut wl, &mut m5, s.accesses);
+    let report = run_overlapped(&mut sys, &mut wl, &mut m5, s.accesses);
     // A reset that strikes after the manager's last epoch leaves the
     // engine fenced at exit; recovery is then the *next* run's first act,
     // which the sweep performs here so invariants are checked post-replay.

@@ -21,6 +21,7 @@
 pub mod crash_sweep;
 pub mod golden;
 pub mod parallel;
+pub mod pipeline;
 pub mod results;
 
 use cxl_sim::prelude::*;

@@ -1,0 +1,127 @@
+//! Overlapped generate/simulate execution: double-buffered chunks on the
+//! vendored `rayon` work queue.
+//!
+//! [`run_overlapped`] drives the same chunk-level primitives as
+//! `cxl_sim::system::run_chunked` — [`ChunkedRun::begin`] /
+//! [`ChunkedRun::drive`] / [`ChunkedRun::finish`] — but generates chunk
+//! N+1 on a second thread while chunk N simulates. The hand-off is
+//! strictly index-ordered (simulate front, generate back, barrier, swap),
+//! and generation is a pure function of the workload cursor, so the
+//! result is **byte-identical** to the sequential chunked driver and to
+//! the per-access reference loop (`tests/chunk_determinism.rs` asserts
+//! exactly this).
+//!
+//! On a single-core pool `rayon::join` degenerates to sequential calls,
+//! which is again the same schedule.
+
+use cxl_sim::chunk::AccessChunk;
+use cxl_sim::prelude::*;
+use cxl_sim::system::{ChunkedRun, DEFAULT_CHUNK_ACCESSES};
+
+/// [`run_overlapped_chunked`] with the default chunk capacity.
+pub fn run_overlapped<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+) -> RunReport
+where
+    W: AccessStream + Send + ?Sized,
+    D: MigrationDaemon + Send + ?Sized,
+{
+    run_overlapped_chunked(sys, workload, daemon, max_accesses, DEFAULT_CHUNK_ACCESSES)
+}
+
+/// Drives `workload` through `sys` under `daemon`, overlapping chunk
+/// generation with simulation.
+///
+/// Unlike `run`/`run_chunked`, the workload cursor may advance up to one
+/// chunk past the access budget (the look-ahead chunk is generated before
+/// the budget stop is known); use the sequential drivers for protocols
+/// that resume the same stream across calls with exact budgets.
+pub fn run_overlapped_chunked<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+    chunk_capacity: usize,
+) -> RunReport
+where
+    W: AccessStream + Send + ?Sized,
+    D: MigrationDaemon + Send + ?Sized,
+{
+    let mut run = ChunkedRun::begin(sys, daemon);
+    let mut front = AccessChunk::with_capacity(chunk_capacity);
+    let mut back = AccessChunk::with_capacity(chunk_capacity);
+
+    front.set_limit(max_accesses.min(chunk_capacity as u64) as usize);
+    workload.fill_chunk(&mut front);
+    while !front.is_empty() && run.accesses() < max_accesses {
+        // Accesses that will have executed once `front` completes; the
+        // look-ahead fill is capped so it never generates past the budget
+        // by more than the in-flight chunk.
+        let ahead = run.accesses() + front.len() as u64;
+        let (_, generated) = rayon::join(
+            || run.drive(sys, daemon, &front, max_accesses),
+            || {
+                back.clear();
+                let left = max_accesses.saturating_sub(ahead);
+                back.set_limit(left.min(chunk_capacity as u64) as usize);
+                workload.fill_chunk(&mut back)
+            },
+        );
+        let _ = generated;
+        std::mem::swap(&mut front, &mut back);
+    }
+    run.finish(sys, daemon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_sim::system::{run_chunked, run_per_access, NoMigration};
+    use m5_workloads::registry::Benchmark;
+
+    /// The overlapped driver must consume and report exactly what the
+    /// per-access loop does, at any chunk size.
+    #[test]
+    fn overlapped_matches_per_access_reference() {
+        let spec = Benchmark::Redis.spec();
+        let accesses = 30_000;
+        let reference = {
+            let (mut sys, region) = crate::standard_system(&spec);
+            let mut wl = spec.build(region.base, accesses, 7);
+            let mut d = NoMigration;
+            run_per_access(&mut sys, &mut wl, &mut d, accesses)
+        };
+        for cap in [1usize, 17, 1024, 4096] {
+            let (mut sys, region) = crate::standard_system(&spec);
+            let mut wl = spec.build(region.base, accesses, 7);
+            let mut d = NoMigration;
+            let got = run_overlapped_chunked(&mut sys, &mut wl, &mut d, accesses, cap);
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{reference:?}"),
+                "overlapped(cap={cap}) diverged from the per-access loop"
+            );
+        }
+    }
+
+    /// And it must match the sequential chunked driver when the budget
+    /// cuts the run short mid-chunk.
+    #[test]
+    fn overlapped_budget_stop_matches_chunked() {
+        let spec = Benchmark::Redis.spec();
+        let (mut sys_a, region_a) = crate::standard_system(&spec);
+        let mut wl_a = spec.build(region_a.base, 10_000, 3);
+        let mut da = NoMigration;
+        let a = run_chunked(&mut sys_a, &mut wl_a, &mut da, 2_500, 512);
+
+        let (mut sys_b, region_b) = crate::standard_system(&spec);
+        let mut wl_b = spec.build(region_b.base, 10_000, 3);
+        let mut db = NoMigration;
+        let b = run_overlapped_chunked(&mut sys_b, &mut wl_b, &mut db, 2_500, 512);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(b.accesses, 2_500);
+    }
+}

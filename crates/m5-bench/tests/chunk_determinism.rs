@@ -1,0 +1,170 @@
+//! Batch-driver determinism: the chunked and overlapped drivers must be
+//! **byte-identical** to the per-access reference loop.
+//!
+//! Equality is asserted on the strongest observable evidence the system
+//! produces: the rendered golden-format telemetry snapshot (every
+//! counter, gauge, and histogram percentile) plus the debug-formatted
+//! `RunReport`. Any divergence in fault servicing, epoch timing, TLB
+//! flush cadence, daemon wake order, or latency accounting shows up
+//! here — at chunk size 1 (every access is its own batch), at sizes
+//! that misalign with every internal cadence, and at the default.
+//!
+//! `run_per_access` is kept in-tree precisely as this test's oracle.
+
+use cxl_sim::faults::{FaultKind, FaultPlan};
+use cxl_sim::prelude::*;
+use cxl_sim::report::RunReport;
+use cxl_sim::system::{run_chunked, run_per_access};
+use m5_baselines::anb::{Anb, AnbConfig};
+use m5_bench::golden::{self, GOLDENS};
+use m5_bench::pipeline::run_overlapped_chunked;
+use m5_core::manager::{M5Config, M5Manager};
+use m5_workloads::access::ReplayWorkload;
+
+/// Reduced budget: enough for several M5 epochs and migrations on every
+/// golden workload while keeping the full driver matrix fast.
+const ACCESSES: u64 = 60_000;
+
+/// Chunk capacities that misalign with every internal cadence: 1 forces
+/// a daemon-dispatch check between every pair of accesses, 7 and 509 are
+/// prime, 4096 is the default.
+const CAPS: [usize; 4] = [1, 7, 509, 4096];
+
+type BoxedDaemon = Box<dyn MigrationDaemon + Send>;
+type Driver =
+    dyn Fn(&mut System, &mut ReplayWorkload, &mut (dyn MigrationDaemon + Send), u64) -> RunReport;
+
+/// Runs one workload under `daemon_new()` with telemetry enabled and the
+/// given driver, returning the full rendered snapshot + report.
+fn observe(
+    spec: &m5_workloads::registry::WorkloadSpec,
+    plan: &FaultPlan,
+    seed: u64,
+    accesses: u64,
+    daemon_new: &dyn Fn() -> BoxedDaemon,
+    drive: &Driver,
+) -> (String, String) {
+    let (mut sys, region) = m5_bench::standard_system_with_faults(spec, plan);
+    sys.install_telemetry(Telemetry::enabled());
+    let mut wl = spec.build(region.base, accesses, seed);
+    let mut daemon = daemon_new();
+    let report = drive(&mut sys, &mut wl, daemon.as_mut(), accesses);
+    sys.telemetry_mut().flush();
+    let snap = golden::render("determinism", &sys.telemetry().snapshot());
+    (snap, format!("{report:?}"))
+}
+
+/// Asserts every chunked/overlapped variant matches the per-access
+/// reference for one (spec, plan, daemon) configuration.
+fn assert_all_drivers_match(
+    label: &str,
+    spec: &m5_workloads::registry::WorkloadSpec,
+    plan: &FaultPlan,
+    seed: u64,
+    accesses: u64,
+    daemon_new: &dyn Fn() -> BoxedDaemon,
+) {
+    let reference = observe(spec, plan, seed, accesses, daemon_new, &|s, w, d, m| {
+        run_per_access(s, w, d, m)
+    });
+    for cap in CAPS {
+        let chunked = observe(
+            spec,
+            plan,
+            seed,
+            accesses,
+            daemon_new,
+            &move |s, w, d, m| run_chunked(s, w, d, m, cap),
+        );
+        assert_eq!(
+            chunked, reference,
+            "{label}: run_chunked(cap={cap}) diverged from per-access"
+        );
+        let overlapped = observe(
+            spec,
+            plan,
+            seed,
+            accesses,
+            daemon_new,
+            &move |s, w, d, m| run_overlapped_chunked(s, w, d, m, cap),
+        );
+        assert_eq!(
+            overlapped, reference,
+            "{label}: run_overlapped(cap={cap}) diverged from per-access"
+        );
+    }
+}
+
+fn m5_daemon() -> BoxedDaemon {
+    Box::new(M5Manager::new(M5Config::default()))
+}
+
+/// Every golden workload under the M5 manager: graph (PageRank), kv
+/// (uniform Redis), spec (Zipf Mcf) — the exact configurations whose
+/// checked-in goldens the chunked pipeline regenerated.
+#[test]
+fn golden_workloads_match_per_access_at_every_chunk_size() {
+    for g in &GOLDENS {
+        let spec = g.benchmark.spec();
+        assert_all_drivers_match(
+            g.name,
+            &spec,
+            &FaultPlan::none(),
+            g.seed,
+            ACCESSES,
+            &m5_daemon,
+        );
+    }
+}
+
+/// With an active fault plan the batch driver must fall back to the
+/// fully-checked path at exactly the same accesses: spikes and stalls
+/// add latency, poisoned reads retry, and DDR pressure shifts costs —
+/// all of it must land on identical accesses in every driver.
+#[test]
+fn fault_plan_runs_match_per_access_at_every_chunk_size() {
+    let spec = GOLDENS[2].benchmark.spec();
+    let plan = FaultPlan::none()
+        .with(
+            Nanos::from_micros(500),
+            FaultKind::LatencySpike {
+                extra: Nanos::from_micros(2),
+                duration: Nanos::from_micros(300),
+            },
+        )
+        .with(
+            Nanos::from_millis(1),
+            FaultKind::ControllerStall {
+                duration: Nanos::from_micros(150),
+            },
+        )
+        .with(
+            Nanos::from_micros(1_400),
+            FaultKind::PoisonLine { reads: 3 },
+        )
+        .with(
+            Nanos::from_micros(1_700),
+            FaultKind::DdrPressure {
+                duration: Nanos::from_micros(400),
+            },
+        );
+    assert_all_drivers_match("faulted-spec", &spec, &plan, 42, 40_000, &m5_daemon);
+}
+
+/// ANB unmaps pages and relies on NUMA hinting faults delivered through
+/// `MigrationDaemon::on_fault` — the `BatchPause::Fault` hand-off. The
+/// fault must surface after the faulting access and before the next one
+/// in every driver, or promotion order (and everything downstream)
+/// diverges.
+#[test]
+fn anb_hinting_fault_path_matches_per_access() {
+    let spec = GOLDENS[0].benchmark.spec();
+    assert_all_drivers_match(
+        "anb-graph",
+        &spec,
+        &FaultPlan::none(),
+        42,
+        ACCESSES,
+        &|| Box::new(Anb::new(AnbConfig::default())),
+    );
+}

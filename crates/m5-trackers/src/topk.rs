@@ -76,8 +76,17 @@ impl TopKAlgorithm for CmSketchTopK {
     fn record(&mut self, addr: u64) {
         let est = self.sketch.update(addr);
         // Steps 4–6 of Figure 5: tag hit refreshes the entry, miss competes
-        // against the CAM's minimum.
-        self.cam.offer(addr, est);
+        // against the CAM's minimum. An estimate that cannot beat the
+        // minimum is a provable no-op — sketch counters only grow within
+        // an epoch (sketch and CAM reset together), so a tracked address
+        // always estimates at least its stored count, itself at least the
+        // minimum: `est <= min` means either the address is absent and
+        // replace-min would reject it, or its stored count already equals
+        // `est` and the refresh changes nothing. Skipping the CAM's tag
+        // scan for that case keeps the hot path O(1) per record.
+        if est > self.cam.min_count() {
+            self.cam.offer(addr, est);
+        }
     }
 
     fn top_k(&self) -> Vec<(u64, u64)> {

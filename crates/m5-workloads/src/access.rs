@@ -8,12 +8,16 @@
 //! recorded trace on real hardware.
 
 use cxl_sim::addr::VirtAddr;
+use cxl_sim::chunk::AccessChunk;
 use cxl_sim::system::{Access, AccessStream};
 use std::sync::Arc;
 
-const WRITE_BIT: u64 = 1 << 63;
-const OP_END_BIT: u64 = 1 << 62;
-const ADDR_MASK: u64 = (1 << 48) - 1;
+// The recorded-trace word layout *is* the chunk word layout (addresses are
+// region-relative here, absolute there), so replay fills chunks with a
+// single rebase pass.
+const WRITE_BIT: u64 = cxl_sim::chunk::CHUNK_WRITE_BIT;
+const OP_END_BIT: u64 = cxl_sim::chunk::CHUNK_OP_END_BIT;
+const ADDR_MASK: u64 = cxl_sim::chunk::CHUNK_ADDR_MASK;
 
 /// Records region-relative accesses during workload generation.
 #[derive(Clone, Debug, Default)]
@@ -159,6 +163,14 @@ impl AccessStream for ReplayWorkload {
             is_write: w & WRITE_BIT != 0,
             op_end: w & OP_END_BIT != 0,
         })
+    }
+
+    /// Bulk path: the trace is already in chunk word format, so filling is
+    /// one rebase-and-copy pass over the next slice of the trace.
+    fn fill_chunk(&mut self, chunk: &mut AccessChunk) -> usize {
+        let n = chunk.extend_rebased(&self.trace[self.pos..], self.base);
+        self.pos += n;
+        n
     }
 }
 

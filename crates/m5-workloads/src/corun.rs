@@ -6,6 +6,7 @@
 //! the simulator-side analogue of co-scheduled processes sharing the
 //! memory system.
 
+use cxl_sim::chunk::AccessChunk;
 use cxl_sim::system::{Access, AccessStream};
 
 /// Round-robin interleaver over multiple access streams.
@@ -86,6 +87,50 @@ impl<S: AccessStream> AccessStream for CoRunner<S> {
         }
         // All remaining slots were just exhausted.
         None
+    }
+
+    /// Bulk path: delegate whole quantum-sized sub-fills to the current
+    /// stream's own `fill_chunk` (a slice copy for replayed traces),
+    /// using the chunk's soft limit to stop exactly at quantum
+    /// boundaries. Produces the same sequence as repeated `next_access`.
+    fn fill_chunk(&mut self, chunk: &mut AccessChunk) -> usize {
+        let mut total = 0;
+        while self.live > 0 && !chunk.is_full() {
+            if self.issued_in_quantum >= self.quantum || self.streams[self.current].is_none() {
+                // Rotate to the next live stream (resets the quantum),
+                // mirroring next_access's skip loop.
+                let mut found = false;
+                for _ in 0..self.streams.len() {
+                    self.advance();
+                    if self.streams[self.current].is_some() {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    break;
+                }
+            }
+            let want = (self.quantum - self.issued_in_quantum).min(chunk.remaining() as u32);
+            let outer = chunk.limit();
+            chunk.set_limit(chunk.len() + want as usize);
+            let got = self.streams[self.current]
+                .as_mut()
+                .expect("current stream is live")
+                .fill_chunk(chunk);
+            chunk.set_limit(outer);
+            self.issued_in_quantum += got as u32;
+            total += got;
+            if got < want as usize {
+                // The inner fill stopped before its sub-limit: the stream
+                // is exhausted (the only other stop condition is the
+                // limit itself).
+                self.streams[self.current] = None;
+                self.live -= 1;
+                self.advance();
+            }
+        }
+        total
     }
 }
 

@@ -1,0 +1,92 @@
+//! Statistical properties of the distribution primitives.
+//!
+//! The alias-table `ZipfSampler` replaced a CDF binary search; the swap
+//! is *statistically* equivalent (same Zipf(θ) law, different RNG→rank
+//! mapping), which is exactly what regenerating `golden_spec` relied on.
+//! The chi-square proptest here is the standing evidence: across random
+//! (n, θ) the empirical rank counts match the exact normalized Zipf
+//! probabilities. `Scatter::map` bijectivity is pinned the same way over
+//! random (n, seed).
+
+use m5_workloads::dist::{Scatter, ZipfSampler};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const DRAWS: u64 = 30_000;
+
+/// Pearson chi-square statistic of `counts` against `expected`, with
+/// low-expectation bins (< 5) merged into their neighbour so the χ²
+/// approximation holds.
+fn chi_square(counts: &[u64], expected: &[f64]) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    let mut obs_acc = 0.0;
+    let mut exp_acc = 0.0;
+    for (&c, &e) in counts.iter().zip(expected) {
+        obs_acc += c as f64;
+        exp_acc += e;
+        if exp_acc >= 5.0 {
+            stat += (obs_acc - exp_acc) * (obs_acc - exp_acc) / exp_acc;
+            df += 1;
+            obs_acc = 0.0;
+            exp_acc = 0.0;
+        }
+    }
+    if exp_acc > 0.0 {
+        stat += (obs_acc - exp_acc) * (obs_acc - exp_acc) / exp_acc;
+        df += 1;
+    }
+    // Degrees of freedom = merged bins - 1 (totals are constrained equal).
+    (stat, df.saturating_sub(1).max(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Empirical alias-sampler counts match the exact Zipf(θ) pmf
+    /// `p_i = (i+1)^-θ / H` under a chi-square test. The acceptance
+    /// threshold `df + 8·sqrt(2·df) + 16` sits far beyond the ~3σ tail
+    /// of χ²(df) (mean df, variance 2df), so a correct sampler passes
+    /// with overwhelming probability while a mis-built table (e.g. a
+    /// mispaired alias column) fails loudly.
+    #[test]
+    fn alias_sampler_matches_exact_zipf_pmf(
+        n in 2u64..129,
+        theta_unit in any::<f64>(),
+    ) {
+        let theta = theta_unit * 1.3;
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(n ^ theta.to_bits());
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..DRAWS {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let h: f64 = (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+        let expected: Vec<f64> = (1..=n)
+            .map(|k| DRAWS as f64 * (k as f64).powf(-theta) / h)
+            .collect();
+        let (stat, df) = chi_square(&counts, &expected);
+        let threshold = df as f64 + 8.0 * (2.0 * df as f64).sqrt() + 16.0;
+        prop_assert!(
+            stat < threshold,
+            "chi2 {stat:.1} >= {threshold:.1} (df {df}, n {n}, theta {theta})"
+        );
+    }
+
+    /// `Scatter::map` is a bijection on `0..n` for arbitrary (n, seed):
+    /// every image is in range and no two ranks collide.
+    #[test]
+    fn scatter_map_is_bijective(
+        n in 1u64..4097,
+        seed in any::<u64>(),
+    ) {
+        let s = Scatter::new(n, seed);
+        let mut seen = std::collections::HashSet::with_capacity(n as usize);
+        for i in 0..n {
+            let m = s.map(i);
+            prop_assert!(m < n, "map({i}) = {m} out of range (n {n})");
+            prop_assert!(seen.insert(m), "collision at rank {i} (n {n}, seed {seed:#x})");
+        }
+    }
+}
