@@ -3,6 +3,7 @@
 use crate::cache::LlcConfig;
 use crate::kernel::CostModel;
 use crate::memory::NodeConfig;
+use crate::ras::RasConfig;
 use crate::time::Nanos;
 use crate::tlb::TlbConfig;
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,10 @@ pub struct SystemConfig {
     /// instead of waiting (retry/backoff is the promoter's job). Default
     /// 200 µs, a few page-copy times.
     pub migration_watchdog: Nanos,
+    /// RAS policy: correctable-error trending thresholds, patrol-scrub
+    /// width, and the live-evacuation deadline.
+    #[serde(default)]
+    pub ras: RasConfig,
 }
 
 impl SystemConfig {
@@ -85,6 +90,7 @@ impl SystemConfig {
             migration_pollutes_cache: true,
             tlb_flush_interval: Some(Nanos::from_millis(1)),
             migration_watchdog: Nanos::from_micros(200),
+            ras: RasConfig::default(),
         }
     }
 
@@ -112,6 +118,7 @@ impl SystemConfig {
             migration_pollutes_cache: true,
             tlb_flush_interval: Some(Nanos::from_millis(1)),
             migration_watchdog: Nanos::from_micros(200),
+            ras: RasConfig::default(),
         }
     }
 
@@ -137,6 +144,12 @@ impl SystemConfig {
     /// Returns this config with the migration watchdog deadline overridden.
     pub fn with_migration_watchdog(mut self, deadline: Nanos) -> SystemConfig {
         self.migration_watchdog = deadline;
+        self
+    }
+
+    /// Returns this config with the RAS policy overridden.
+    pub fn with_ras(mut self, ras: RasConfig) -> SystemConfig {
+        self.ras = ras;
         self
     }
 }

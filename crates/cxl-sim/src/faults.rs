@@ -63,11 +63,23 @@ pub enum FaultClass {
     /// lost and the migration engine is fenced until
     /// [`crate::system::System::recover`] replays the journal.
     ControllerReset,
+    /// A CXL DRAM read was corrected by ECC: harmless in isolation, but
+    /// the RAS layer trends the per-frame count and soft-offlines frames
+    /// that keep correcting.
+    CorrectableEcc,
+    /// The CXL link renegotiates to a degraded rate; accesses to the node
+    /// slow down by a multiplicative factor until the node is retired.
+    LinkDegrade,
+    /// The operator (or fabric manager) announces an orderly hot-remove:
+    /// the node must be evacuated live and taken offline.
+    HotRemove,
 }
 
 impl FaultClass {
-    /// All classes, in display order.
-    pub const ALL: [FaultClass; 9] = [
+    /// All classes, in display order. The RAS classes are appended *after*
+    /// the original nine so [`FaultPlan::chaos`]'s per-class RNG draws for
+    /// the pre-RAS classes are unchanged for a given seed.
+    pub const ALL: [FaultClass; 12] = [
         FaultClass::LatencySpike,
         FaultClass::ControllerStall,
         FaultClass::PoisonedLine,
@@ -77,6 +89,9 @@ impl FaultClass {
         FaultClass::MigrationCopyFail,
         FaultClass::DdrPressure,
         FaultClass::ControllerReset,
+        FaultClass::CorrectableEcc,
+        FaultClass::LinkDegrade,
+        FaultClass::HotRemove,
     ];
 
     fn index(self) -> usize {
@@ -90,6 +105,9 @@ impl FaultClass {
             FaultClass::MigrationCopyFail => 6,
             FaultClass::DdrPressure => 7,
             FaultClass::ControllerReset => 8,
+            FaultClass::CorrectableEcc => 9,
+            FaultClass::LinkDegrade => 10,
+            FaultClass::HotRemove => 11,
         }
     }
 
@@ -105,6 +123,9 @@ impl FaultClass {
             FaultClass::MigrationCopyFail => "migration-copy-fail",
             FaultClass::DdrPressure => "ddr-pressure",
             FaultClass::ControllerReset => "controller-reset",
+            FaultClass::CorrectableEcc => "correctable-ecc",
+            FaultClass::LinkDegrade => "link-degrade",
+            FaultClass::HotRemove => "hot-remove",
         }
     }
 }
@@ -130,6 +151,23 @@ pub enum DeviceFault {
     SramSaturate,
     /// Permanent failure: the device stops tracking and serves garbage.
     Fail,
+    /// ECC corrected a read of CXL frame `pfn` (a raw frame index the RAS
+    /// layer reduces modulo the node's capacity, like `SramBitFlip::slot`).
+    /// Routed to [`crate::ras::RasState`], never to snoop devices.
+    CorrectableEcc {
+        /// Frame index on the CXL node (reduced modulo capacity).
+        pfn: u64,
+    },
+    /// The CXL link retrained to `factor` percent of nominal latency
+    /// (`factor >= 100`; 150 means reads take 1.5× as long). Persistent
+    /// until the node is retired. Routed to the RAS layer.
+    LinkDegrade {
+        /// New access latency as a percentage of nominal (>= 100).
+        factor: u32,
+    },
+    /// Orderly hot-remove announcement: the RAS layer must evacuate the
+    /// node live and take it offline. Routed to the RAS layer.
+    HotRemovePrepare,
 }
 
 impl DeviceFault {
@@ -139,7 +177,22 @@ impl DeviceFault {
             DeviceFault::SramBitFlip { .. } => FaultClass::CounterBitFlip,
             DeviceFault::SramSaturate => FaultClass::CounterSaturation,
             DeviceFault::Fail => FaultClass::DeviceFailure,
+            DeviceFault::CorrectableEcc { .. } => FaultClass::CorrectableEcc,
+            DeviceFault::LinkDegrade { .. } => FaultClass::LinkDegrade,
+            DeviceFault::HotRemovePrepare => FaultClass::HotRemove,
         }
+    }
+
+    /// Whether this fault targets the memory device's RAS machinery (and is
+    /// therefore delivered to [`crate::ras::RasState`]) rather than the
+    /// attached near-memory snoop devices.
+    pub fn is_ras(self) -> bool {
+        matches!(
+            self,
+            DeviceFault::CorrectableEcc { .. }
+                | DeviceFault::LinkDegrade { .. }
+                | DeviceFault::HotRemovePrepare
+        )
     }
 }
 
@@ -282,6 +335,16 @@ impl FaultPlan {
                     FaultClass::ControllerReset => FaultKind::ControllerReset {
                         at_step: rng.gen_range(1u64..=48),
                     },
+                    // CE hits are drawn from a small "weak region" so the
+                    // same frame can cross the offline threshold within one
+                    // campaign — uniformly random frames almost never repeat.
+                    FaultClass::CorrectableEcc => FaultKind::Device(DeviceFault::CorrectableEcc {
+                        pfn: rng.gen_range(0u64..8),
+                    }),
+                    FaultClass::LinkDegrade => FaultKind::Device(DeviceFault::LinkDegrade {
+                        factor: rng.gen_range(110u32..=300),
+                    }),
+                    FaultClass::HotRemove => FaultKind::Device(DeviceFault::HotRemovePrepare),
                 };
                 schedule.push(ScheduledFault { at, kind });
             }
@@ -319,6 +382,7 @@ pub struct FaultInjector {
     copy_fail_pending: u32,
     reset_steps: Vec<u64>,
     device_queue: Vec<DeviceFault>,
+    ras_queue: Vec<DeviceFault>,
     log: Vec<FaultEvent>,
     counts: [u64; FaultClass::ALL.len()],
     poison_repairs: u64,
@@ -349,6 +413,7 @@ impl FaultInjector {
             copy_fail_pending: 0,
             reset_steps: Vec::new(),
             device_queue: Vec::new(),
+            ras_queue: Vec::new(),
             log: Vec::new(),
             counts: [0; FaultClass::ALL.len()],
             poison_repairs: 0,
@@ -381,6 +446,7 @@ impl FaultInjector {
                 FaultKind::PoisonLine { reads } => {
                     self.poison_pending += reads;
                 }
+                FaultKind::Device(d) if d.is_ras() => self.ras_queue.push(d),
                 FaultKind::Device(d) => self.device_queue.push(d),
                 FaultKind::MigrationCopyFail { attempts } => {
                     self.copy_fail_pending += attempts;
@@ -409,6 +475,7 @@ impl FaultInjector {
             && self.copy_fail_pending == 0
             && self.reset_steps.is_empty()
             && self.device_queue.is_empty()
+            && self.ras_queue.is_empty()
     }
 
     /// The trigger time of the earliest scheduled fault [`poll`] has not
@@ -514,6 +581,17 @@ impl FaultInjector {
         }
     }
 
+    /// Pops the next queued RAS fault ([`DeviceFault::is_ras`]) for
+    /// delivery to the memory device's [`crate::ras::RasState`].
+    #[inline]
+    pub fn pop_ras_fault(&mut self) -> Option<DeviceFault> {
+        if self.ras_queue.is_empty() {
+            None
+        } else {
+            Some(self.ras_queue.remove(0))
+        }
+    }
+
     /// Records one poisoned line recovered by memory-failure handling.
     pub fn note_poison_repaired(&mut self) {
         self.poison_repairs += 1;
@@ -551,6 +629,11 @@ pub enum SimError {
     Migrate(MigrateError),
     /// A frame allocation failed.
     OutOfFrames(OutOfFrames),
+    /// An allocation targeted a node the RAS layer has taken offline.
+    NodeOffline(crate::memory::NodeId),
+    /// No node in the tier can absorb the request: the survivor's free
+    /// list is exhausted (e.g. mid-evacuation drain with a full fast tier).
+    CapacityExhausted(crate::memory::NodeId),
 }
 
 impl fmt::Display for SimError {
@@ -559,6 +642,10 @@ impl fmt::Display for SimError {
             SimError::Unmapped(a) => write!(f, "access to unmapped address {a:?}"),
             SimError::Migrate(e) => write!(f, "migration failed: {e}"),
             SimError::OutOfFrames(e) => write!(f, "allocation failed: {e}"),
+            SimError::NodeOffline(n) => write!(f, "allocation on offline node {}", n.label()),
+            SimError::CapacityExhausted(n) => {
+                write!(f, "capacity exhausted on survivor node {}", n.label())
+            }
         }
     }
 }
@@ -568,7 +655,9 @@ impl std::error::Error for SimError {
         match self {
             SimError::Migrate(e) => Some(e),
             SimError::OutOfFrames(e) => Some(e),
-            SimError::Unmapped(_) => None,
+            SimError::Unmapped(_) | SimError::NodeOffline(_) | SimError::CapacityExhausted(_) => {
+                None
+            }
         }
     }
 }

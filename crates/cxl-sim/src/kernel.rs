@@ -34,11 +34,14 @@ pub enum CostKind {
     /// Appending one record to the migration write-ahead journal (a
     /// cacheline write plus an ordering barrier per state transition).
     JournalWrite,
+    /// RAS patrol scrub: reading one frame to harvest latent correctable
+    /// errors, plus the soft-offline bookkeeping it triggers.
+    RasScrub,
 }
 
 impl CostKind {
     /// All categories, in display order.
-    pub const ALL: [CostKind; 7] = [
+    pub const ALL: [CostKind; 8] = [
         CostKind::HintingFault,
         CostKind::TlbShootdown,
         CostKind::PteScan,
@@ -46,6 +49,7 @@ impl CostKind {
         CostKind::ManagerQuery,
         CostKind::DaemonOther,
         CostKind::JournalWrite,
+        CostKind::RasScrub,
     ];
 
     fn index(self) -> usize {
@@ -57,6 +61,7 @@ impl CostKind {
             CostKind::ManagerQuery => 4,
             CostKind::DaemonOther => 5,
             CostKind::JournalWrite => 6,
+            CostKind::RasScrub => 7,
         }
     }
 
@@ -71,6 +76,7 @@ impl CostKind {
             CostKind::ManagerQuery => "manager-query",
             CostKind::DaemonOther => "daemon-other",
             CostKind::JournalWrite => "journal-write",
+            CostKind::RasScrub => "ras-scrub",
         }
     }
 }
@@ -119,6 +125,10 @@ pub struct CostModel {
     /// Scrubbing (zero-fill + verify) one quarantined 4 KiB frame before it
     /// returns to the allocator.
     pub scrub_per_frame: Nanos,
+    /// RAS patrol scrub of one 4 KiB frame: a streaming read that harvests
+    /// latent correctable errors (much cheaper than the quarantine
+    /// zero-fill — no write pass, no verify).
+    pub ras_patrol_per_frame: Nanos,
 }
 
 impl Default for CostModel {
@@ -136,6 +146,7 @@ impl Default for CostModel {
             poison_repair: Nanos::from_micros(50),
             journal_write: Nanos(250),
             scrub_per_frame: Nanos::from_micros(5),
+            ras_patrol_per_frame: Nanos(150),
         }
     }
 }
@@ -143,8 +154,8 @@ impl Default for CostModel {
 /// The kernel-time ledger.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KernelCosts {
-    by_kind: [Nanos; 7],
-    events: [u64; 7],
+    by_kind: [Nanos; CostKind::ALL.len()],
+    events: [u64; CostKind::ALL.len()],
 }
 
 impl KernelCosts {
@@ -190,9 +201,13 @@ impl KernelCosts {
     /// "identifying hot pages alone" metric (they disable `migrate_pages()`
     /// and measure what remains). Journal writes are part of the migration
     /// machinery, so they are excluded too: disabling `migrate_pages()`
-    /// would eliminate them.
+    /// would eliminate them. RAS patrol scrubbing is maintenance, not
+    /// identification, and is likewise excluded.
     pub fn identification_total(&self) -> Nanos {
-        self.total() - self.of(CostKind::Migration) - self.of(CostKind::JournalWrite)
+        self.total()
+            - self.of(CostKind::Migration)
+            - self.of(CostKind::JournalWrite)
+            - self.of(CostKind::RasScrub)
     }
 }
 

@@ -70,6 +70,7 @@ pub mod mglru;
 pub mod migration;
 pub mod paging;
 pub mod perfmon;
+pub mod ras;
 pub mod report;
 pub mod system;
 pub mod time;
@@ -97,10 +98,11 @@ pub mod prelude {
     pub use crate::kernel::{CostKind, KernelCosts};
     pub use crate::memory::NodeId;
     pub use crate::perfmon::BandwidthStats;
+    pub use crate::ras::{EvacuationReport, NodeHealth, RasConfig, RasState};
     pub use crate::report::{HealthReport, RunReport};
     pub use crate::system::{
-        Access, AccessOutcome, AccessStream, BatchPause, ChunkedRun, MigrationDaemon, System,
-        SystemStats,
+        Access, AccessOutcome, AccessStream, BatchPause, ChunkedRun, MigrationDaemon,
+        RasServiceReport, System, SystemStats,
     };
     pub use crate::time::Nanos;
     pub use m5_telemetry::{

@@ -102,6 +102,10 @@ pub struct MemoryNode {
     /// Frame indices pulled out of circulation after a fault mid-copy;
     /// they return to `free` only via [`MemoryNode::scrub`].
     quarantined: Vec<u64>,
+    /// Frame indices the RAS layer retired permanently (correctable-error
+    /// trending crossed the offline threshold). Unlike quarantine, there is
+    /// no way back: scrubbing never touches this set.
+    offlined: Vec<u64>,
     allocated: u64,
 }
 
@@ -120,6 +124,7 @@ impl MemoryNode {
             config,
             free,
             quarantined: Vec::new(),
+            offlined: Vec::new(),
             allocated: 0,
         }
     }
@@ -144,15 +149,23 @@ impl MemoryNode {
         self.allocated
     }
 
-    /// Number of frames currently free (quarantined frames are *not* free:
-    /// capacity = free + allocated + quarantined).
+    /// Number of frames currently free (quarantined and offlined frames are
+    /// *not* free: capacity = free + allocated + quarantined + offlined).
     pub fn free_frames(&self) -> u64 {
-        self.config.capacity_frames - self.allocated - self.quarantined.len() as u64
+        self.config.capacity_frames
+            - self.allocated
+            - self.quarantined.len() as u64
+            - self.offlined.len() as u64
     }
 
     /// Number of frames currently quarantined.
     pub fn quarantined_frames(&self) -> u64 {
         self.quarantined.len() as u64
+    }
+
+    /// Number of frames permanently retired by the RAS layer.
+    pub fn offlined_frames(&self) -> u64 {
+        self.offlined.len() as u64
     }
 
     /// The free frames, as absolute PFNs (invariant-checker support).
@@ -163,6 +176,13 @@ impl MemoryNode {
     /// The quarantined frames, as absolute PFNs.
     pub fn quarantined_pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
         self.quarantined
+            .iter()
+            .map(move |&idx| Pfn(self.base_pfn + idx))
+    }
+
+    /// The permanently offlined frames, as absolute PFNs.
+    pub fn offlined_pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.offlined
             .iter()
             .map(move |&idx| Pfn(self.base_pfn + idx))
     }
@@ -200,6 +220,18 @@ impl MemoryNode {
         if NodeId::of_pfn(pfn) != self.id || idx >= self.config.capacity_frames {
             return;
         }
+        // A frame in quarantine (or retired by RAS) is not allocated: a
+        // stale free of it must not push a second copy of the index onto
+        // the free stack — that would double-hand-out the frame and corrupt
+        // the allocated count.
+        debug_assert!(
+            !self.quarantined.contains(&idx),
+            "freeing quarantined {pfn:?}"
+        );
+        debug_assert!(!self.offlined.contains(&idx), "freeing offlined {pfn:?}");
+        if self.quarantined.contains(&idx) || self.offlined.contains(&idx) {
+            return;
+        }
         self.allocated -= 1;
         self.free.push(idx);
     }
@@ -222,19 +254,63 @@ impl MemoryNode {
         if NodeId::of_pfn(pfn) != self.id || idx >= self.config.capacity_frames {
             return;
         }
+        // Same double-accounting hazard as `free`: a frame already in
+        // quarantine or retired is not allocated, so re-quarantining it
+        // would corrupt the allocated count and duplicate the index.
+        debug_assert!(!self.quarantined.contains(&idx), "re-quarantining {pfn:?}");
+        debug_assert!(
+            !self.offlined.contains(&idx),
+            "quarantining offlined {pfn:?}"
+        );
+        if self.quarantined.contains(&idx) || self.offlined.contains(&idx) {
+            return;
+        }
         self.allocated -= 1;
         self.quarantined.push(idx);
     }
 
     /// Scrubs up to `max` quarantined frames, returning them to the free
     /// list. Returns how many frames were scrubbed. Oldest quarantined
-    /// frames are scrubbed first.
+    /// frames are scrubbed first. Frames the RAS layer offlined are a
+    /// disjoint set and are never resurrected by scrubbing.
     pub fn scrub(&mut self, max: u64) -> u64 {
         let n = (max as usize).min(self.quarantined.len());
         for idx in self.quarantined.drain(..n) {
             self.free.push(idx);
         }
         n as u64
+    }
+
+    /// Permanently retires a frame that is currently *free* or
+    /// *quarantined*: it leaves circulation for good (no scrub brings it
+    /// back). Returns `false` — and does nothing — if the frame is
+    /// allocated or in flight; the caller must migrate its page off first
+    /// and retry once the frame has been freed.
+    pub fn offline_frame(&mut self, pfn: Pfn) -> bool {
+        debug_assert_eq!(
+            NodeId::of_pfn(pfn),
+            self.id,
+            "offlining {pfn:?} on wrong node"
+        );
+        let idx = pfn.0.wrapping_sub(self.base_pfn);
+        debug_assert!(idx < self.config.capacity_frames, "{pfn:?} out of range");
+        if NodeId::of_pfn(pfn) != self.id || idx >= self.config.capacity_frames {
+            return false;
+        }
+        if self.offlined.contains(&idx) {
+            return true;
+        }
+        if let Some(pos) = self.free.iter().position(|&i| i == idx) {
+            self.free.swap_remove(pos);
+            self.offlined.push(idx);
+            return true;
+        }
+        if let Some(pos) = self.quarantined.iter().position(|&i| i == idx) {
+            self.quarantined.swap_remove(pos);
+            self.offlined.push(idx);
+            return true;
+        }
+        false
     }
 }
 
@@ -405,5 +481,69 @@ mod tests {
         assert_eq!(node.alloc().unwrap(), Pfn(0));
         assert_eq!(node.alloc().unwrap(), Pfn(1));
         assert_eq!(node.alloc().unwrap(), Pfn(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing quarantined")]
+    fn freeing_a_quarantined_frame_is_rejected() {
+        // Regression: a stale free of a quarantined frame used to push the
+        // index straight back onto the free stack, handing the suspect
+        // frame out again and corrupting the allocated count.
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(4, 100));
+        let a = node.alloc().unwrap();
+        node.quarantine(a);
+        node.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-quarantining")]
+    fn double_quarantine_is_rejected() {
+        let mut node = MemoryNode::new(NodeId::Ddr, cfg(4, 100));
+        let a = node.alloc().unwrap();
+        node.quarantine(a);
+        node.quarantine(a);
+    }
+
+    #[test]
+    fn offlined_frames_leave_circulation_permanently() {
+        let mut node = MemoryNode::new(NodeId::Cxl, cfg(2, 270));
+        let a = node.alloc().unwrap();
+        node.free(a);
+        assert!(node.offline_frame(a), "free frame can be retired");
+        assert_eq!(node.offlined_frames(), 1);
+        assert_eq!(node.free_frames(), 1);
+        // Regression: scrubbing must never resurrect a RAS-offlined frame.
+        assert_eq!(node.scrub(u64::MAX), 0);
+        assert_eq!(node.offlined_frames(), 1);
+        let b = node.alloc().unwrap();
+        assert_ne!(b, a, "offlined frame is never handed out again");
+        assert!(node.alloc().is_err(), "only the surviving frame remains");
+        assert_eq!(node.offlined_pfns().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn offlining_a_quarantined_frame_skips_scrub_forever() {
+        let mut node = MemoryNode::new(NodeId::Cxl, cfg(2, 270));
+        let a = node.alloc().unwrap();
+        node.quarantine(a);
+        assert!(node.offline_frame(a), "quarantined frame can be retired");
+        assert_eq!(node.quarantined_frames(), 0);
+        assert_eq!(node.scrub(u64::MAX), 0, "nothing left to scrub");
+        assert_eq!(node.offlined_frames(), 1);
+    }
+
+    #[test]
+    fn offlining_an_allocated_frame_is_refused() {
+        let mut node = MemoryNode::new(NodeId::Cxl, cfg(2, 270));
+        let a = node.alloc().unwrap();
+        assert!(
+            !node.offline_frame(a),
+            "in-use frame must be migrated off first"
+        );
+        assert_eq!(node.offlined_frames(), 0);
+        node.free(a);
+        assert!(node.offline_frame(a));
+        assert!(node.offline_frame(a), "idempotent once retired");
+        assert_eq!(node.offlined_frames(), 1);
     }
 }

@@ -64,6 +64,12 @@ pub enum MigrateError {
         /// How long the copy phase would have had to wait.
         waited: Nanos,
     },
+    /// The destination node is being evacuated (or already offline) by the
+    /// RAS layer: no new pages may land on it.
+    NodeOffline {
+        /// The evacuating/offline destination node.
+        node: NodeId,
+    },
 }
 
 impl MigrateError {
@@ -99,6 +105,7 @@ impl MigrateError {
             MigrateError::Remap { .. } => "reset-fenced",
             MigrateError::NeedsRecovery => "needs-recovery",
             MigrateError::Stalled { .. } => "watchdog-stall",
+            MigrateError::NodeOffline { .. } => "node-offline",
         }
     }
 }
@@ -131,6 +138,12 @@ impl fmt::Display for MigrateError {
             }
             MigrateError::Stalled { waited } => {
                 write!(f, "watchdog rolled back migration stalled for {waited}")
+            }
+            MigrateError::NodeOffline { node } => {
+                write!(
+                    f,
+                    "node {node} is evacuating/offline; no new pages may land"
+                )
             }
         }
     }
@@ -239,6 +252,7 @@ mod tests {
             MigrateError::AlreadyThere,
             MigrateError::Pinned,
             MigrateError::NodeBound,
+            MigrateError::NodeOffline { node: NodeId::Cxl },
         ] {
             assert!(!e.is_transient(), "{e} should be permanent");
         }
@@ -263,6 +277,7 @@ mod tests {
             .cause_label(),
             MigrateError::NeedsRecovery.cause_label(),
             MigrateError::Stalled { waited: Nanos(1) }.cause_label(),
+            MigrateError::NodeOffline { node: NodeId::Cxl }.cause_label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());

@@ -24,19 +24,20 @@
 //! M5-manager's Monitor needs (§5.2), and keeps the profiled access counts
 //! attributable to the application.
 
-use crate::addr::{CacheLineAddr, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
+use crate::addr::{CacheLineAddr, Pfn, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
 use crate::cache::Llc;
 use crate::chunk::{AccessChunk, CHUNK_ADDR_MASK, CHUNK_OP_END_BIT, CHUNK_WRITE_BIT};
 use crate::config::{Placement, SystemConfig};
 use crate::controller::{CxlController, CxlDevice, DeviceHandle};
-use crate::faults::{FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
+use crate::faults::{DeviceFault, FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
 use crate::journal::{MigrationJournal, RecoveryReport, TxnId, TxnState};
 use crate::kernel::{CostKind, KernelCosts};
-use crate::memory::{NodeId, OutOfFrames, TieredMemory};
+use crate::memory::{NodeId, OutOfFrames, TieredMemory, CXL_BASE_PFN};
 use crate::mglru::MgLru;
 use crate::migration::{BatchOutcome, MigrateError, MigrationStats};
 use crate::paging::PageTable;
 use crate::perfmon::{BandwidthStats, PerfMonitor};
+use crate::ras::{EvacuationReport, NodeHealth, RasState};
 use crate::report::{HealthReport, LatencyHistogram, RunReport};
 use crate::time::{Clock, Nanos};
 use crate::tlb::Tlb;
@@ -234,6 +235,10 @@ const BATCH_LAT_LLC: usize = 0;
 const BATCH_LAT_DDR: usize = 1;
 const BATCH_LAT_CXL: usize = 2;
 
+/// Soft-offline candidates processed per [`System::ras_service`] epoch —
+/// bounds the per-epoch stall predictive offlining can add.
+const RAS_OFFLINE_BATCH: u64 = 8;
+
 #[inline]
 fn node_idx(node: NodeId) -> usize {
     match node {
@@ -273,6 +278,11 @@ pub struct System {
     spike_span: Option<SpanId>,
     stall_span: Option<SpanId>,
     pressure_span: Option<SpanId>,
+    ras: RasState,
+    evac_span: Option<SpanId>,
+    /// Whether the current evacuation already noted survivor-capacity
+    /// exhaustion (one degradation entry per evacuation, not per epoch).
+    evac_exhaustion_noted: bool,
 }
 
 impl System {
@@ -312,6 +322,9 @@ impl System {
             spike_span: None,
             stall_span: None,
             pressure_span: None,
+            ras: RasState::new(config.ras),
+            evac_span: None,
+            evac_exhaustion_noted: false,
             config,
         }
     }
@@ -465,8 +478,48 @@ impl System {
         while let Some(f) = self.faults.pop_device_fault() {
             self.controller.inject(f);
         }
+        while let Some(f) = self.faults.pop_ras_fault() {
+            self.ras_record(f);
+        }
         if self.telemetry.is_enabled() {
             self.trace_faults();
+        }
+    }
+
+    /// Delivers one RAS fault to the state machine and mirrors what changed
+    /// to telemetry and the degradation log: `sim.ras` counters per fault
+    /// class, the `sim.ras.health` gauge on transitions, and a
+    /// `sim.ras.evacuation` span opened when the CXL node starts draining.
+    fn ras_record(&mut self, fault: DeviceFault) {
+        let now = self.clock.now();
+        let capacity = self.config.cxl.capacity_frames;
+        let delta = self.ras.record(fault, now, capacity);
+        if self.telemetry.is_enabled() {
+            let label = match fault {
+                DeviceFault::CorrectableEcc { .. } => "ce",
+                DeviceFault::LinkDegrade { .. } => "link-degrade",
+                DeviceFault::HotRemovePrepare => "hot-remove",
+                _ => "other",
+            };
+            self.telemetry.counter_add("sim.ras", label, 1);
+            if delta.crossed_threshold {
+                self.telemetry
+                    .counter_add("sim.ras", "offline-nominated", 1);
+            }
+        }
+        if let Some((from, to)) = delta.transition {
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .gauge_set("sim.ras.health", NodeId::Cxl.label(), to.gauge());
+                if to == NodeHealth::Evacuating && self.evac_span.is_none() {
+                    self.evac_span = Some(self.telemetry.span_start(
+                        now.0,
+                        "sim.ras.evacuation",
+                        NodeId::Cxl.label(),
+                    ));
+                }
+            }
+            self.note_degradation(format!("RAS: CXL node health {from} -> {to}"));
         }
     }
 
@@ -529,14 +582,12 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfFrames`] if a node runs out of capacity. When
-    /// interleaved placement finds DDR full it falls back to CXL (and vice
-    /// versa), so only total exhaustion fails.
-    pub fn alloc_region(
-        &mut self,
-        pages: u64,
-        placement: Placement,
-    ) -> Result<Region, OutOfFrames> {
+    /// Returns [`SimError::OutOfFrames`] if a node runs out of capacity
+    /// (when interleaved placement finds DDR full it falls back to CXL and
+    /// vice versa, so only total exhaustion fails), or
+    /// [`SimError::NodeOffline`] if the target node is being evacuated or
+    /// has been taken offline by the RAS layer.
+    pub fn alloc_region(&mut self, pages: u64, placement: Placement) -> Result<Region, SimError> {
         let base_vpn = self.next_vpn;
         let mut rng = match placement {
             Placement::Interleaved { seed, .. } => SmallRng::seed_from_u64(seed),
@@ -555,12 +606,15 @@ impl System {
                     }
                 }
             };
+            if !self.ras.quiescent() && self.ras.health(want) >= NodeHealth::Evacuating {
+                return Err(SimError::NodeOffline(want));
+            }
             let pfn = match self.memory.alloc_on(want) {
                 Ok(pfn) => pfn,
                 Err(_) if matches!(placement, Placement::Interleaved { .. }) => {
                     self.memory.alloc_on(want.other())?
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             };
             self.page_table.map(vpn, pfn);
             if NodeId::of_pfn(pfn) == NodeId::Ddr {
@@ -686,6 +740,13 @@ impl System {
             if node == NodeId::Cxl {
                 if faults_active {
                     latency += self.faults.cxl_extra_latency(now);
+                    if !self.ras.quiescent() {
+                        // Degraded-link penalty scales with the nominal
+                        // node latency (a retrained link slows every fill).
+                        latency += self
+                            .ras
+                            .extra_latency(node, self.memory.node(node).access_latency());
+                    }
                     if self.faults.take_poisoned_read() {
                         // Uncorrectable ECC on the fill: the kernel's
                         // memory-failure path isolates the line, re-fetches,
@@ -819,6 +880,7 @@ impl System {
             // are all no-ops — skip them wholesale up to the horizon.
             let now = self.clock.now();
             let quiet = self.faults.quiescent(now)
+                && self.ras.quiescent()
                 && self.fault_events_seen == self.faults.log().len()
                 && self.spike_span.is_none()
                 && self.stall_span.is_none()
@@ -1010,6 +1072,10 @@ impl System {
             Some(MigrateError::Pinned)
         } else if pte.flags.cxl_bound() && dst == NodeId::Ddr {
             Some(MigrateError::NodeBound)
+        } else if !self.ras.quiescent() && self.ras.health(dst) >= NodeHealth::Evacuating {
+            // No new pages may land on a node the RAS layer is draining —
+            // otherwise the evacuation chases its own tail.
+            Some(MigrateError::NodeOffline { node: dst })
         } else {
             None
         };
@@ -1269,13 +1335,168 @@ impl System {
         total
     }
 
+    /// The RAS state machine (read-only: per-node health, CE trends,
+    /// evacuation reports).
+    pub fn ras(&self) -> &RasState {
+        &self.ras
+    }
+
+    /// Frames of `node` permanently retired by the RAS layer.
+    pub fn offlined_frames(&self, node: NodeId) -> u64 {
+        self.memory.node(node).offlined_frames()
+    }
+
+    /// One epoch of RAS service work, driven from the migration daemon's
+    /// tick (the M5 manager calls this from its `on_tick` prologue):
+    ///
+    /// 1. **Predictive soft-offlining** — frames whose correctable-error
+    ///    count crossed [`crate::ras::RasConfig::ce_offline_threshold`] have
+    ///    their page migrated off through the journaled (crash-consistent)
+    ///    migration path, then the frame is permanently retired. The patrol
+    ///    walk behind the candidate harvest is billed as
+    ///    [`CostKind::RasScrub`] and re-nominates frames whose earlier
+    ///    attempt failed (stranded page, frame in flight).
+    /// 2. **Bounded live evacuation** — while the CXL node is `Evacuating`,
+    ///    up to `drain_budget` pages per call are migrated to the survivor.
+    ///    The budget is the backpressure: demand traffic never waits on
+    ///    more than one bounded drain per epoch, and a full survivor
+    ///    degrades the drain gracefully instead of wedging it. The node
+    ///    goes `Offline` — with an [`EvacuationReport`] — once nothing
+    ///    drainable remains or the deadline expires.
+    ///
+    /// A no-op while the RAS layer is quiescent (fault-free runs) or the
+    /// migration engine is fenced awaiting [`System::recover`].
+    pub fn ras_service(&mut self, drain_budget: u64) -> RasServiceReport {
+        let mut report = RasServiceReport::default();
+        // Deliver any RAS faults queued since the last access first, so an
+        // epoch that saw no demand traffic still notices the trend.
+        self.service_faults();
+        if self.ras.quiescent() || self.journal.is_fenced() {
+            return report;
+        }
+        let now = self.clock.now();
+        self.ras.decay(NodeId::Cxl, now);
+
+        // Phase 1: soft-offline frames with a concerning CE trend.
+        let capacity = self.config.cxl.capacity_frames;
+        let (candidates, walked) =
+            self.ras
+                .harvest_offline_candidates(NodeId::Cxl, capacity, RAS_OFFLINE_BATCH);
+        if walked > 0 {
+            let per = self.config.costs.ras_patrol_per_frame;
+            self.daemon_bill(CostKind::RasScrub, per * walked);
+        }
+        for idx in candidates {
+            let pfn = Pfn(CXL_BASE_PFN + idx);
+            if let Some(vpn) = self.page_table.vpn_of(pfn) {
+                if self.migrate_page_uncounted(vpn, NodeId::Ddr).is_err() {
+                    // Stranded (pinned page, full survivor, fenced engine):
+                    // the patrol walk re-nominates the frame next epoch.
+                    report.offline_retries += 1;
+                    continue;
+                }
+            }
+            if self.memory.node_mut(NodeId::Cxl).offline_frame(pfn) {
+                self.ras.note_offlined(NodeId::Cxl, idx);
+                report.frames_offlined += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter_add("sim.ras", "frame-offlined", 1);
+                }
+            } else {
+                // Held by an open migration transaction; retry next epoch.
+                report.offline_retries += 1;
+            }
+        }
+
+        // Phase 2: bounded live-evacuation drain.
+        if self.ras.health(NodeId::Cxl) != NodeHealth::Evacuating {
+            return report;
+        }
+        if !self.ras.evac_deadline_passed(NodeId::Cxl, now) && drain_budget > 0 {
+            let victims: Vec<Vpn> = self
+                .page_table
+                .pages_on(NodeId::Cxl)
+                .filter(|(_, pte)| !pte.flags.pinned() && !pte.flags.cxl_bound())
+                .map(|(vpn, _)| vpn)
+                .take(drain_budget as usize)
+                .collect();
+            let mut exhausted = false;
+            for vpn in victims {
+                match self.migrate_page_uncounted(vpn, NodeId::Ddr) {
+                    Ok(()) => report.pages_drained += 1,
+                    Err(MigrateError::NoFreeFrame(_)) | Err(MigrateError::Quarantined { .. }) => {
+                        exhausted = true;
+                        break;
+                    }
+                    Err(MigrateError::NeedsRecovery) | Err(MigrateError::Remap { .. }) => break,
+                    Err(_) => {}
+                }
+            }
+            if report.pages_drained > 0 {
+                self.ras.note_evacuated(NodeId::Cxl, report.pages_drained);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter_add("sim.ras", "pages-drained", report.pages_drained);
+                }
+            }
+            if exhausted && !self.evac_exhaustion_noted {
+                self.evac_exhaustion_noted = true;
+                self.note_degradation(format!(
+                    "RAS: evacuation drain stalled: {}",
+                    SimError::CapacityExhausted(NodeId::Ddr)
+                ));
+            }
+        }
+
+        // Completion check: the node goes Offline once nothing drainable
+        // remains (full drain, or only pinned/node-bound residents) or the
+        // deadline expired with pages stranded on it.
+        let mut residual = 0u64;
+        let mut movable = false;
+        for (_, pte) in self.page_table.pages_on(NodeId::Cxl) {
+            residual += 1;
+            if !pte.flags.pinned() && !pte.flags.cxl_bound() {
+                movable = true;
+            }
+        }
+        let now = self.clock.now();
+        let expired = self.ras.evac_deadline_passed(NodeId::Cxl, now);
+        if residual == 0 || !movable || expired {
+            if let Some(done) = self.ras.complete_evacuation(NodeId::Cxl, now, residual) {
+                report.evacuation = Some(done);
+                self.evac_exhaustion_noted = false;
+                let span = self.evac_span.take();
+                if self.telemetry.is_enabled() {
+                    self.telemetry.gauge_set(
+                        "sim.ras.health",
+                        NodeId::Cxl.label(),
+                        NodeHealth::Offline.gauge(),
+                    );
+                    self.telemetry.counter_add("sim.ras", "evacuations", 1);
+                    if let Some(span) = span {
+                        self.telemetry.span_end(now.0, span);
+                    }
+                }
+                self.note_degradation(format!(
+                    "RAS: CXL node offline: {} pages drained, {} residual, deadline {}",
+                    done.pages_moved,
+                    done.residual,
+                    if done.deadline_met { "met" } else { "missed" }
+                ));
+            }
+        }
+        report
+    }
+
     /// Checks the crash-consistency invariants, returning a human-readable
     /// description of every violation (empty when consistent):
     ///
     /// * every mapped VPN points at exactly one frame, and no frame backs
     ///   two VPNs;
-    /// * no mapped frame is simultaneously free or quarantined;
-    /// * each node's free + allocated + quarantined partition its capacity;
+    /// * no mapped frame is simultaneously free, quarantined, or
+    ///   RAS-offlined;
+    /// * each node's free + allocated + quarantined + offlined partition
+    ///   its capacity;
     /// * every allocated frame is accounted for — mapped by the page table
     ///   or in flight in an open migration transaction;
     /// * the journal's committed terminal counts reconcile with
@@ -1326,18 +1547,33 @@ impl System {
             let free: std::collections::HashSet<crate::addr::Pfn> = n.free_pfns().collect();
             let quarantined: std::collections::HashSet<crate::addr::Pfn> =
                 n.quarantined_pfns().collect();
+            let offlined: std::collections::HashSet<crate::addr::Pfn> = n.offlined_pfns().collect();
 
             for pfn in &quarantined {
                 if free.contains(pfn) {
                     violations.push(format!("{node}: frame {pfn:?} both free and quarantined"));
                 }
             }
-            let accounted = free.len() as u64 + quarantined.len() as u64 + n.allocated_frames();
+            for pfn in &offlined {
+                if free.contains(pfn) {
+                    violations.push(format!("{node}: frame {pfn:?} both free and offlined"));
+                }
+                if quarantined.contains(pfn) {
+                    violations.push(format!(
+                        "{node}: frame {pfn:?} both quarantined and offlined"
+                    ));
+                }
+            }
+            let accounted = free.len() as u64
+                + quarantined.len() as u64
+                + offlined.len() as u64
+                + n.allocated_frames();
             if accounted != n.capacity_frames() {
                 violations.push(format!(
-                    "{node}: free {} + quarantined {} + allocated {} != capacity {}",
+                    "{node}: free {} + quarantined {} + offlined {} + allocated {} != capacity {}",
                     free.len(),
                     quarantined.len(),
+                    offlined.len(),
                     n.allocated_frames(),
                     n.capacity_frames()
                 ));
@@ -1358,6 +1594,12 @@ impl System {
                 if quarantined.contains(&pte.pfn) {
                     violations.push(format!(
                         "{node}: mapped frame {:?} ({vpn:?}) is quarantined",
+                        pte.pfn
+                    ));
+                }
+                if offlined.contains(&pte.pfn) {
+                    violations.push(format!(
+                        "{node}: mapped frame {:?} ({vpn:?}) is offlined",
                         pte.pfn
                     ));
                 }
@@ -1658,6 +1900,20 @@ impl System {
             },
         }
     }
+}
+
+/// What one [`System::ras_service`] epoch accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RasServiceReport {
+    /// Frames permanently retired this epoch.
+    pub frames_offlined: u64,
+    /// Offline candidates whose attempt failed this epoch (page stranded
+    /// or frame in flight); the patrol walk re-nominates them.
+    pub offline_retries: u64,
+    /// Pages drained off the evacuating node this epoch.
+    pub pages_drained: u64,
+    /// The final evacuation report, when this epoch concluded it.
+    pub evacuation: Option<EvacuationReport>,
 }
 
 /// A cumulative snapshot of the aggregates behind [`RunReport`], captured

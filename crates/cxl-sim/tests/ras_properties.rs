@@ -1,0 +1,157 @@
+//! Property tests for the RAS subsystem: arbitrary interleavings of
+//! demand accesses, migrations, correctable-error bursts, hot-remove
+//! evacuation, patrol service epochs, scrubbing, and recovery must never
+//! lose a page or double-map a frame — [`System::check_invariants`] stays
+//! clean and every page stays mapped after every single step.
+
+use cxl_sim::faults::DeviceFault;
+use cxl_sim::prelude::*;
+use proptest::prelude::*;
+
+const PAGES: u64 = 32;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Try to promote page `i % PAGES` to DDR.
+    Promote(u64),
+    /// Try to demote page `i % PAGES` to CXL.
+    Demote(u64),
+    /// Touch a byte of page `i % PAGES` (advances the clock).
+    Access(u64),
+    /// Inject `1 + n % 3` correctable errors on CXL frame `pfn % 64`.
+    CeBurst { pfn: u64, n: u8 },
+    /// Degrade the CXL link by `150 + 10 * (n % 20)` percent.
+    LinkDegrade(u8),
+    /// Announce a hot-remove: the CXL node starts evacuating.
+    HotRemove,
+    /// One RAS service epoch with drain budget `1 + n % 8`.
+    RasService(u8),
+    /// Arm `1 + n % 3` migration copy failures.
+    InjectCopyFail(u8),
+    /// Replay the journal.
+    Recover,
+    /// Scrub up to 4 quarantined frames per node.
+    Scrub,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Promote),
+        3 => any::<u64>().prop_map(Op::Demote),
+        4 => any::<u64>().prop_map(Op::Access),
+        3 => (any::<u64>(), any::<u8>()).prop_map(|(pfn, n)| Op::CeBurst { pfn, n }),
+        1 => any::<u8>().prop_map(Op::LinkDegrade),
+        1 => Just(Op::HotRemove),
+        4 => any::<u8>().prop_map(Op::RasService),
+        1 => any::<u8>().prop_map(Op::InjectCopyFail),
+        1 => Just(Op::Recover),
+        1 => Just(Op::Scrub),
+    ]
+}
+
+fn mapped_total(sys: &System) -> u64 {
+    sys.page_table().iter_mapped().count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ras_interleavings_never_lose_or_double_map_a_page(
+        ops in prop::collection::vec(op_strategy(), 1..100)
+    ) {
+        // DDR large enough to absorb a full evacuation, small enough that
+        // promotions still contend with the drain for survivor frames.
+        let mut sys = System::new(
+            SystemConfig::small().with_ddr_frames(48).with_cxl_frames(64),
+        );
+        let region = sys.alloc_region(PAGES, Placement::AllOnCxl).unwrap();
+        let vpns: Vec<Vpn> = region.vpns().collect();
+
+        for op in &ops {
+            match op {
+                Op::Promote(i) => {
+                    let _ = sys.migrate_page(vpns[(*i % PAGES) as usize], NodeId::Ddr);
+                }
+                Op::Demote(i) => {
+                    let _ = sys.migrate_page(vpns[(*i % PAGES) as usize], NodeId::Cxl);
+                }
+                Op::Access(i) => {
+                    sys.access(region.base.offset((*i % PAGES) * PAGE_SIZE as u64), false);
+                }
+                Op::CeBurst { pfn, n } => {
+                    let mut plan = FaultPlan::none();
+                    for _ in 0..(1 + n % 3) {
+                        plan = plan.with(
+                            Nanos::ZERO,
+                            FaultKind::Device(DeviceFault::CorrectableEcc { pfn: pfn % 64 }),
+                        );
+                    }
+                    sys.install_fault_plan(&plan);
+                }
+                Op::LinkDegrade(n) => {
+                    sys.install_fault_plan(&FaultPlan::none().with(
+                        Nanos::ZERO,
+                        FaultKind::Device(DeviceFault::LinkDegrade {
+                            factor: 150 + 10 * u32::from(*n % 20),
+                        }),
+                    ));
+                }
+                Op::HotRemove => {
+                    sys.install_fault_plan(&FaultPlan::none().with(
+                        Nanos::ZERO,
+                        FaultKind::Device(DeviceFault::HotRemovePrepare),
+                    ));
+                }
+                Op::RasService(n) => {
+                    let _ = sys.ras_service(1 + u64::from(*n) % 8);
+                }
+                Op::InjectCopyFail(n) => {
+                    sys.install_fault_plan(&FaultPlan::none().with(
+                        Nanos::ZERO,
+                        FaultKind::MigrationCopyFail {
+                            attempts: 1 + u32::from(*n) % 3,
+                        },
+                    ));
+                }
+                Op::Recover => {
+                    let _ = sys.recover();
+                }
+                Op::Scrub => {
+                    sys.scrub_quarantine(4);
+                }
+            }
+            let violations = sys.check_invariants();
+            prop_assert!(violations.is_empty(), "after {op:?}: {violations:?}");
+            prop_assert_eq!(
+                mapped_total(&sys), PAGES,
+                "page lost or duplicated after {:?}", op
+            );
+        }
+
+        // Drain: recovery closes any fenced transaction, quarantine must
+        // empty (offlined frames left quarantine when they were retired).
+        sys.recover();
+        let mut rounds = 0;
+        while sys.quarantined_frames(NodeId::Ddr) + sys.quarantined_frames(NodeId::Cxl) > 0 {
+            prop_assert!(sys.scrub_quarantine(8) > 0, "scrub stopped making progress");
+            rounds += 1;
+            prop_assert!(rounds < 1_000, "quarantine never drained");
+        }
+        let violations = sys.check_invariants();
+        prop_assert!(violations.is_empty(), "after drain: {violations:?}");
+
+        // No page lost, no frame leaked: every node's allocated frames are
+        // exactly its mapped pages, and the region is fully mapped.
+        prop_assert!(sys.journal().open().is_empty());
+        prop_assert_eq!(mapped_total(&sys), PAGES);
+        for node in NodeId::ALL {
+            let mapped = sys
+                .page_table()
+                .iter_mapped()
+                .filter(|(_, pte)| pte.node() == node)
+                .count() as u64;
+            prop_assert_eq!(sys.nr_pages(node), mapped, "{} allocated != mapped", node);
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod golden;
 pub mod parallel;
 pub mod pipeline;
 pub mod results;
+pub mod soak;
 
 use cxl_sim::prelude::*;
 use cxl_sim::system::Region;

@@ -150,6 +150,9 @@ impl CxlDevice for HotPageTracker {
             DeviceFault::SramBitFlip { slot: _, bit } => self.flip_mask ^= 1 << (bit % 48),
             DeviceFault::SramSaturate => self.saturated = true,
             DeviceFault::Fail => self.dead = true,
+            // RAS faults target the memory/link layer, not the tracker
+            // SRAM; the injector routes them to the RAS queue, never here.
+            _ => {}
         }
     }
 

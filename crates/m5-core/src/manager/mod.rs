@@ -159,6 +159,7 @@ pub struct M5Manager {
     log: HotPageLog,
     epochs: u64,
     migrate_epochs: u64,
+    ras_drain_epochs: u64,
     name: String,
     fallback: bool,
     hpt_strikes: u8,
@@ -192,6 +193,7 @@ impl M5Manager {
             log: HotPageLog::new(config.hot_log_cap),
             epochs: 0,
             migrate_epochs: 0,
+            ras_drain_epochs: 0,
             name: name.to_string(),
             fallback: false,
             hpt_strikes: 0,
@@ -234,6 +236,14 @@ impl M5Manager {
     /// Epochs in which the Elector chose to migrate.
     pub fn migrate_epochs(&self) -> u64 {
         self.migrate_epochs
+    }
+
+    /// Epochs whose RAS prologue drained at least one page off an
+    /// evacuating node. A live evacuation spreads over many epochs (the
+    /// drain is bounded by the promotion budget), so demand traffic never
+    /// waits behind more than one bounded drain per epoch.
+    pub fn ras_drain_epochs(&self) -> u64 {
+        self.ras_drain_epochs
     }
 
     fn query_trackers(&mut self, sys: &mut System) -> TrackerOutput {
@@ -405,8 +415,29 @@ impl MigrationDaemon for M5Manager {
         // Return a few poisoned frames to circulation each epoch; the scrub
         // is bounded so one epoch never pays for a large backlog at once.
         sys.scrub_quarantine(8);
+        // RAS prologue: patrol-scrub the CE trend, soft-offline failing
+        // frames, and — while the CXL node is evacuating — drain a bounded
+        // batch of pages to the survivor. The drain reuses the epoch's
+        // promotion budget: promoting pages *toward* a dying tier is
+        // pointless, so the budget reverses direction instead.
+        let ras = sys.ras_service(self.config.promote_batch as u64);
+        if ras.pages_drained > 0 {
+            self.ras_drain_epochs += 1;
+        }
+        let evacuating = sys.ras().health(NodeId::Cxl) >= cxl_sim::ras::NodeHealth::Evacuating;
         let stats = self.monitor.sample(sys);
-        let decision = self.elector.decide(&stats);
+        let mut decision = self.elector.decide(&stats);
+        if evacuating {
+            // Suspend the promotion flow for the rest of the evacuation:
+            // demotions would be rejected (`MigrateError::NodeOffline`) and
+            // tracker output describes a node that is going away.
+            decision.migrate = false;
+            // Drain at the fastest epoch cadence. The elector's adaptive
+            // period stretches toward `max_period` exactly when CXL looks
+            // cold — which an evacuating node always does — and a stretched
+            // period would starve the drain against the RAS deadline.
+            decision.period = self.config.elector.min_period;
+        }
         sys.telemetry_mut().counter_add(
             "m5.epochs",
             if decision.migrate { "migrate" } else { "hold" },

@@ -195,6 +195,9 @@ impl CxlDevice for Pac {
             }
             DeviceFault::SramSaturate => self.sram.fill(self.max),
             DeviceFault::Fail => self.dead = true,
+            // RAS faults target the memory/link layer, not the profiler
+            // SRAM; the injector routes them to the RAS queue, never here.
+            _ => {}
         }
     }
 

@@ -218,6 +218,9 @@ impl CxlDevice for Wac {
             }
             DeviceFault::SramSaturate => self.sram.fill(self.max as u8),
             DeviceFault::Fail => self.dead = true,
+            // RAS faults target the memory/link layer, not the profiler
+            // SRAM; the injector routes them to the RAS queue, never here.
+            _ => {}
         }
     }
 
