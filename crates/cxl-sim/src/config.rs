@@ -1,6 +1,7 @@
 //! System configuration and presets.
 
 use crate::cache::LlcConfig;
+use crate::contention::ContentionConfig;
 use crate::kernel::CostModel;
 use crate::memory::NodeConfig;
 use crate::ras::RasConfig;
@@ -60,6 +61,11 @@ pub struct SystemConfig {
     /// width, and the live-evacuation deadline.
     #[serde(default)]
     pub ras: RasConfig,
+    /// Contention-aware timing: per-node loaded-latency queueing over the
+    /// epoch bandwidth window. Disabled by default — the fixed per-access
+    /// cost path stays bit-for-bit intact.
+    #[serde(default)]
+    pub contention: ContentionConfig,
 }
 
 impl SystemConfig {
@@ -91,6 +97,7 @@ impl SystemConfig {
             tlb_flush_interval: Some(Nanos::from_millis(1)),
             migration_watchdog: Nanos::from_micros(200),
             ras: RasConfig::default(),
+            contention: ContentionConfig::disabled(),
         }
     }
 
@@ -119,6 +126,7 @@ impl SystemConfig {
             tlb_flush_interval: Some(Nanos::from_millis(1)),
             migration_watchdog: Nanos::from_micros(200),
             ras: RasConfig::default(),
+            contention: ContentionConfig::disabled(),
         }
     }
 
@@ -150,6 +158,12 @@ impl SystemConfig {
     /// Returns this config with the RAS policy overridden.
     pub fn with_ras(mut self, ras: RasConfig) -> SystemConfig {
         self.ras = ras;
+        self
+    }
+
+    /// Returns this config with the contention model overridden.
+    pub fn with_contention(mut self, contention: ContentionConfig) -> SystemConfig {
+        self.contention = contention;
         self
     }
 }

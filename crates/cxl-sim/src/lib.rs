@@ -60,6 +60,7 @@ pub mod addr;
 pub mod cache;
 pub mod chunk;
 pub mod config;
+pub mod contention;
 pub mod controller;
 pub mod faults;
 pub mod hotlog;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::cache::LlcConfig;
     pub use crate::chunk::AccessChunk;
     pub use crate::config::{Placement, SystemConfig};
+    pub use crate::contention::{Contention, ContentionConfig, LinkParams, TrafficClass};
     pub use crate::controller::{CxlDevice, DeviceHandle};
     pub use crate::faults::{
         DeviceFault, FaultClass, FaultEvent, FaultKind, FaultPlan, ScheduledFault, SimError,

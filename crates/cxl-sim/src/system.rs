@@ -28,6 +28,7 @@ use crate::addr::{CacheLineAddr, Pfn, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
 use crate::cache::Llc;
 use crate::chunk::{AccessChunk, CHUNK_ADDR_MASK, CHUNK_OP_END_BIT, CHUNK_WRITE_BIT};
 use crate::config::{Placement, SystemConfig};
+use crate::contention::{Contention, TrafficClass};
 use crate::controller::{CxlController, CxlDevice, DeviceHandle};
 use crate::faults::{DeviceFault, FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
 use crate::journal::{MigrationJournal, RecoveryReport, TxnId, TxnState};
@@ -226,6 +227,10 @@ struct TelemetryBatch {
     kernel_events: [u64; CostKind::ALL.len()],
     /// Access-latency scratch histograms: `[llc, ddr, cxl]`.
     latency: [m5_telemetry::Log2Histogram; 3],
+    /// Per-node contention queue-delay histograms (`[ddr, cxl]`); only
+    /// ever recorded with the contention model enabled, so disabled runs
+    /// never materialize the metric.
+    contention_extra: [m5_telemetry::Log2Histogram; 2],
 }
 
 const BATCH_SNOOP_READ: usize = 0;
@@ -273,6 +278,11 @@ pub struct System {
     telemetry: Telemetry,
     /// Cached `telemetry.is_enabled()` so the access path tests one bool.
     telemetry_on: bool,
+    contention: Contention,
+    /// Cached `contention.enabled()` so the access path tests one bool;
+    /// with it false the timing model is bit-for-bit the legacy fixed-cost
+    /// path.
+    contention_on: bool,
     batch: TelemetryBatch,
     fault_events_seen: usize,
     spike_span: Option<SpanId>,
@@ -317,6 +327,11 @@ impl System {
             promoter_gave_up: 0,
             telemetry: Telemetry::disabled(),
             telemetry_on: false,
+            contention: Contention::new(
+                &config.contention,
+                [config.ddr.access_latency, config.cxl.access_latency],
+            ),
+            contention_on: config.contention.enabled,
             batch: TelemetryBatch::default(),
             fault_events_seen: 0,
             spike_span: None,
@@ -416,6 +431,15 @@ impl System {
             ("cxl", BATCH_LAT_CXL),
         ] {
             t.histogram_merge("sim.access.latency", label, &b.latency[i]);
+        }
+        for node in NodeId::ALL {
+            // Empty histograms are skipped by the merge, so contention-off
+            // runs never grow a `sim.contention.*` metric.
+            t.histogram_merge(
+                "sim.contention.extra",
+                node.label(),
+                &b.contention_extra[node_idx(node)],
+            );
         }
     }
 
@@ -737,6 +761,14 @@ impl System {
             let node = NodeId::of_pfn(pfn);
             latency += self.memory.node(node).access_latency();
             self.perfmon.record_read(node);
+            if self.contention_on {
+                let extra = self.contention.demand_delay(node, now);
+                latency += extra;
+                if self.telemetry_on {
+                    self.batch.pending = true;
+                    self.batch.contention_extra[node_idx(node)].record(extra.0);
+                }
+            }
             if node == NodeId::Cxl {
                 if faults_active {
                     latency += self.faults.cxl_extra_latency(now);
@@ -774,6 +806,12 @@ impl System {
         if let Some(wb) = res.writeback {
             let wb_node = NodeId::of_pfn(wb.pfn());
             self.perfmon.record_writeback(wb_node);
+            if self.contention_on {
+                // Writebacks drain asynchronously: they consume (write-
+                // asymmetric) link service that later fills wait on, but
+                // this access does not stall for them.
+                self.contention.writeback(wb_node, now);
+            }
             if self.telemetry_on {
                 self.batch.pending = true;
                 self.batch.dram_writebacks[node_idx(wb_node)] += 1;
@@ -973,7 +1011,52 @@ impl System {
                 );
             }
         }
+        if self.contention_on {
+            // The contention window rolls at the Monitor's cadence: each
+            // closed epoch's offered bytes set the next epoch's curve.
+            let windows = self.contention.rollover(now);
+            if self.telemetry.is_enabled() {
+                for node in NodeId::ALL {
+                    self.telemetry.gauge_set(
+                        "sim.contention.queue_ns",
+                        node.label(),
+                        self.contention.queue_ns(node, now) as f64,
+                    );
+                    self.telemetry.gauge_set(
+                        "sim.contention.loaded_ns",
+                        node.label(),
+                        self.loaded_latency(node).0 as f64,
+                    );
+                }
+                for class in TrafficClass::ALL {
+                    let ns: u64 = windows.iter().map(|w| w.billed_ns[class as usize]).sum();
+                    if ns > 0 {
+                        self.telemetry
+                            .counter_add("sim.contention.ns", class.label(), ns);
+                    }
+                }
+            }
+        }
         stats
+    }
+
+    /// The expected end-to-end latency of the next demand fill on `node`:
+    /// the configured node latency plus, with the contention model on, the
+    /// standing loaded-latency curve delay and the current (capped) queue
+    /// backlog. Equals the configured latency exactly when contention is
+    /// disabled.
+    pub fn loaded_latency(&self, node: NodeId) -> Nanos {
+        let base = self.memory.node(node).access_latency();
+        if self.contention_on {
+            base + self.contention.extra_estimate(node, self.clock.now())
+        } else {
+            base
+        }
+    }
+
+    /// The contention model (read-only: queue depths, billing ledgers).
+    pub fn contention(&self) -> &Contention {
+        &self.contention
     }
 
     /// Migrates `vpn` to `dst`, with the Promoter-style safety checks.
@@ -1021,6 +1104,17 @@ impl System {
     fn post_append(&mut self) -> bool {
         let cost = self.config.costs.journal_write;
         self.daemon_bill(CostKind::JournalWrite, cost);
+        if self.contention_on {
+            // The journal lives on the CXL device: each append is a 64 B
+            // write on the shared link, contending with demand traffic.
+            let now = self.clock.now();
+            let d = self
+                .contention
+                .bulk_delay(NodeId::Cxl, TrafficClass::Migration, 64, true, now);
+            if d > Nanos::ZERO {
+                self.daemon_bill(CostKind::JournalWrite, d);
+            }
+        }
         if self.faults.take_reset(self.journal.steps()) {
             self.journal.fence();
             if self.telemetry.is_enabled() {
@@ -1164,6 +1258,23 @@ impl System {
         self.tlb.invalidate(vpn);
         self.daemon_bill(CostKind::TlbShootdown, costs.tlb_shootdown);
         self.daemon_bill(CostKind::Migration, costs.migrate_per_page);
+        if self.contention_on {
+            // The copy DMA reads one page off the source link and writes
+            // it to the destination link; both bursts wait out their
+            // queues and feed the backlog demand fills will wait on.
+            let now = self.clock.now();
+            let page = crate::addr::PAGE_SIZE as u64;
+            let src_node = NodeId::of_pfn(src);
+            let d = self
+                .contention
+                .bulk_delay(src_node, TrafficClass::Migration, page, false, now)
+                + self
+                    .contention
+                    .bulk_delay(dst, TrafficClass::Migration, page, true, now);
+            if d > Nanos::ZERO {
+                self.daemon_bill(CostKind::Migration, d);
+            }
+        }
         let old_pfn = self.page_table.remap(vpn, shadow);
         debug_assert_eq!(old_pfn, src, "page moved underneath an open transaction");
         for w in 0..WORDS_PER_PAGE as u8 {
@@ -1385,6 +1496,20 @@ impl System {
         if walked > 0 {
             let per = self.config.costs.ras_patrol_per_frame;
             self.daemon_bill(CostKind::RasScrub, per * walked);
+            if self.contention_on {
+                // Patrol reads one line's worth of CE state per walked
+                // frame over the same link demand traffic uses.
+                let d = self.contention.bulk_delay(
+                    NodeId::Cxl,
+                    TrafficClass::Ras,
+                    64 * walked,
+                    false,
+                    self.clock.now(),
+                );
+                if d > Nanos::ZERO {
+                    self.daemon_bill(CostKind::RasScrub, d);
+                }
+            }
         }
         for idx in candidates {
             let pfn = Pfn(CXL_BASE_PFN + idx);

@@ -83,11 +83,52 @@ proptest! {
     /// Bandwidth is finite and non-negative for any counter value,
     /// including a saturated one — the 64-byte scaling must not overflow.
     #[test]
-    fn bandwidth_never_overflows(reads in any::<u64>(), window in 0u64..u64::MAX) {
-        let s = BandwidthStats { reads, window: Nanos(window) };
+    fn bandwidth_never_overflows(
+        reads in any::<u64>(),
+        writebacks in any::<u64>(),
+        window in 0u64..u64::MAX,
+    ) {
+        let s = BandwidthStats { reads, writebacks, window: Nanos(window) };
         let bw = s.bytes_per_sec();
         prop_assert!(bw.is_finite());
         prop_assert!(bw >= 0.0);
+        let wbw = s.write_bytes_per_sec();
+        prop_assert!(wbw.is_finite());
+        prop_assert!(wbw >= 0.0);
+    }
+
+    /// Writebacks partition across windows exactly like reads: every
+    /// writeback either left through a rollover or is still in the open
+    /// window, never both, never neither.
+    #[test]
+    fn writeback_windows_partition_totals(ops in prop::collection::vec(op(), 1..300)) {
+        let mut pm = PerfMonitor::new();
+        let mut now = Nanos::ZERO;
+        let mut rolled_wb = [0u64; 2];
+        for o in ops {
+            match o {
+                Op::Read(n) => pm.record_read(n),
+                Op::Writeback(n) => pm.record_writeback(n),
+                Op::Rollover(dt) => {
+                    now += Nanos(dt);
+                    let [ddr, cxl] = pm.rollover(now);
+                    rolled_wb[0] += ddr.writebacks;
+                    rolled_wb[1] += cxl.writebacks;
+                    prop_assert_eq!(pm.window(NodeId::Ddr, now).writebacks, 0);
+                    prop_assert_eq!(pm.window(NodeId::Cxl, now).writebacks, 0);
+                }
+            }
+        }
+        let ddr_idx = NodeId::Ddr as usize % 2;
+        let cxl_idx = NodeId::Cxl as usize % 2;
+        prop_assert_eq!(
+            rolled_wb[ddr_idx] + pm.window(NodeId::Ddr, now).writebacks,
+            pm.total_writebacks(NodeId::Ddr)
+        );
+        prop_assert_eq!(
+            rolled_wb[cxl_idx] + pm.window(NodeId::Cxl, now).writebacks,
+            pm.total_writebacks(NodeId::Cxl)
+        );
     }
 }
 
@@ -95,6 +136,7 @@ proptest! {
 fn saturated_counter_reports_finite_bandwidth() {
     let s = BandwidthStats {
         reads: u64::MAX,
+        writebacks: u64::MAX,
         window: Nanos(1),
     };
     let bw = s.bytes_per_sec();

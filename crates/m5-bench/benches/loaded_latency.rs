@@ -1,0 +1,80 @@
+//! Loaded-latency sweep figure: throughput and loaded latency versus
+//! offered CXL-link load, plus the migration-storm backpressure figure.
+//!
+//! Runs the Zipf (Mcf) golden workload once per background-load point on
+//! a contention-enabled machine and once on the fixed-cost machine (the
+//! flat reference), then measures the storm figure both ways. Writes
+//! `BENCH_loaded_latency.json` (override with `--out PATH`) — the
+//! artifact CI uploads.
+//!
+//! `--quick` shrinks the per-point access budget for CI smoke runs;
+//! `--accesses N` overrides it explicitly.
+
+use m5_bench::golden::GOLDENS;
+use m5_bench::loaded::{self, SWEEP_BACKGROUNDS};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let accesses: u64 = arg_value("--accesses")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            if std::env::args().any(|a| a == "--quick") {
+                100_000
+            } else {
+                1_000_000
+            }
+        });
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_loaded_latency.json".into());
+
+    m5_bench::banner(
+        "loaded-latency",
+        "throughput vs offered CXL load, and migration-storm backpressure",
+    );
+    let g = &GOLDENS[2]; // spec (Zipf Mcf): the steady access mix
+    let on = loaded::sweep(g.benchmark, g.seed, accesses, &SWEEP_BACKGROUNDS, true);
+    let off = loaded::sweep(g.benchmark, g.seed, accesses, &SWEEP_BACKGROUNDS, false);
+
+    println!(
+        "{:>10} {:>14} {:>18} {:>16} {:>12}",
+        "background", "sim acc/s", "loaded latency ns", "utilization", "(off acc/s)"
+    );
+    for (p, q) in on.iter().zip(off.iter()) {
+        println!(
+            "{:>10.2} {:>14.0} {:>18} {:>16.3} {:>12.0}",
+            p.background,
+            p.sim_accesses_per_sec(),
+            p.loaded_latency.0,
+            p.utilization,
+            q.sim_accesses_per_sec()
+        );
+    }
+
+    let storm = loaded::migration_storm(true);
+    let storm_off = loaded::migration_storm(false);
+    println!();
+    println!(
+        "migration storm (contended):   calm {:>8.1} ns  storm {:>8.1} ns  \
+         backpressure {:>8.1} ns  ({} pages moved)",
+        storm.calm_avg_ns,
+        storm.storm_avg_ns,
+        storm.backpressure_ns(),
+        storm.migrated
+    );
+    println!(
+        "migration storm (fixed-cost):  calm {:>8.1} ns  storm {:>8.1} ns  \
+         backpressure {:>8.1} ns",
+        storm_off.calm_avg_ns,
+        storm_off.storm_avg_ns,
+        storm_off.backpressure_ns()
+    );
+
+    let json = loaded::render_json(&on, &off, &storm);
+    std::fs::write(&out_path, &json).expect("write loaded-latency json");
+    println!("wrote {out_path}");
+}

@@ -1,6 +1,6 @@
 //! Wall-clock throughput bench: accesses/sec of the hot access pipeline.
 //!
-//! Three suites:
+//! Four suites:
 //!
 //! * **golden** — the three golden workloads (`m5_bench::golden::GOLDENS`)
 //!   driven through the standard machine with the M5 manager and an
@@ -12,6 +12,10 @@
 //! * **gen** — workload generation alone: record the trace, then drain it
 //!   through `fill_chunk` into reusable chunks. The producer half of the
 //!   overlapped pipeline, isolated.
+//! * **loaded_off** — the loaded-latency sweep's driver (Zipf workload
+//!   under the `MonitorOnly` heartbeat) on the fixed-cost machine, so the
+//!   gate covers the sweep path with contention-off numbers that stay
+//!   comparable across machines.
 //! * **micro** — a random-access stream with no daemon and telemetry
 //!   disabled: the bare `System::access` path.
 //!
@@ -128,6 +132,35 @@ fn gen_suite(accesses: u64, reps: u32) -> Vec<Measurement> {
             }
         })
         .collect()
+}
+
+/// The loaded-latency sweep's driver with contention **off**: the Zipf
+/// golden workload under the `MonitorOnly` heartbeat on the fixed-cost
+/// machine. This is the wall-clock cost of the sweep harness itself
+/// (window rollovers included, queueing excluded), so the regression gate
+/// covers the loaded-latency path with numbers that stay comparable
+/// across machines regardless of contention parameters.
+fn loaded_off_suite(accesses: u64, reps: u32) -> Measurement {
+    let g = &GOLDENS[2];
+    let spec = g.benchmark.spec();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let (mut sys, region) = m5_bench::standard_system(&spec);
+        let mut wl = spec.build(region.base, accesses, g.seed);
+        let mut daemon = m5_bench::loaded::MonitorOnly::new(Nanos::from_micros(100));
+        let t0 = Instant::now();
+        let report = cxl_sim::system::run(&mut sys, &mut wl, &mut daemon, accesses);
+        let wall = t0.elapsed().as_nanos();
+        assert_eq!(report.accesses, accesses, "workload ended early");
+        best = best.min(wall);
+    }
+    Measurement {
+        name: "loaded_off".into(),
+        accesses,
+        best_wall_ns: best,
+        gen_ns: 0,
+        sim_ns: best,
+    }
 }
 
 fn micro_suite(accesses: u64, reps: u32) -> Measurement {
@@ -271,6 +304,7 @@ fn main() {
     );
     let mut ms = golden_suite(accesses, reps);
     ms.extend(gen_suite(accesses, reps));
+    ms.push(loaded_off_suite(accesses, reps));
     ms.push(micro_suite(accesses, reps));
     for m in &ms {
         println!(

@@ -35,6 +35,10 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Access budget per sweep point.
     pub accesses: u64,
+    /// Run the sweep on a contention-enabled machine (queueing + shared
+    /// CXL link budget), so crash recovery is exercised with migration
+    /// traffic backpressuring demand accesses.
+    pub contended: bool,
 }
 
 /// The three sweep workloads — the same benchmark/seed families as the
@@ -46,18 +50,21 @@ pub const SWEEPS: [SweepSpec; 3] = [
         benchmark: Benchmark::Pr,
         seed: 42,
         accesses: 30_000,
+        contended: false,
     },
     SweepSpec {
         name: "kv",
         benchmark: Benchmark::Redis,
         seed: 42,
         accesses: 30_000,
+        contended: false,
     },
     SweepSpec {
         name: "spec",
         benchmark: Benchmark::Mcf,
         seed: 42,
         accesses: 30_000,
+        contended: false,
     },
 ];
 
@@ -81,9 +88,17 @@ pub struct SweepRun {
     pub violations: Vec<String>,
 }
 
+/// Background load used by contended sweep points: past the default knee,
+/// so queueing delay is live without drowning the run in standing latency.
+pub const SWEEP_BACKGROUND: f64 = 0.7;
+
 fn run_spec(s: &SweepSpec, plan: &FaultPlan, at_step: Option<u64>) -> SweepRun {
     let spec = s.benchmark.spec();
-    let (mut sys, region) = crate::standard_system_with_faults(&spec, plan);
+    let (mut sys, region) = if s.contended {
+        crate::standard_contended_system_with_faults(&spec, plan, SWEEP_BACKGROUND)
+    } else {
+        crate::standard_system_with_faults(&spec, plan)
+    };
     let mut wl = spec.build(region.base, s.accesses, s.seed);
     let mut m5 = M5Manager::new(M5Config::default());
     let report = run_overlapped(&mut sys, &mut wl, &mut m5, s.accesses);

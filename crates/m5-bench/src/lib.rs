@@ -20,6 +20,7 @@
 
 pub mod crash_sweep;
 pub mod golden;
+pub mod loaded;
 pub mod parallel;
 pub mod pipeline;
 pub mod results;
@@ -57,6 +58,31 @@ pub fn standard_system_with_faults(
     let config = SystemConfig::scaled_default()
         .with_cxl_frames(spec.footprint_pages + 1024)
         .with_ddr_frames(spec.footprint_pages / 2);
+    let mut sys = System::with_fault_plan(config, plan);
+    let region = sys
+        .alloc_region(spec.footprint_pages, Placement::AllOnCxl)
+        .expect("CXL sized to fit the footprint");
+    (sys, region)
+}
+
+/// [`standard_system`] with the contention-aware timing model enabled:
+/// default link parameters plus `background` offered load (as a fraction
+/// of the CXL link's peak) from other tenants sharing the link. The
+/// offered-load axis of the loaded-latency sweep.
+pub fn standard_contended_system(spec: &WorkloadSpec, background: f64) -> (System, Region) {
+    standard_contended_system_with_faults(spec, &cxl_sim::faults::FaultPlan::none(), background)
+}
+
+/// [`standard_contended_system`] executing a fault plan.
+pub fn standard_contended_system_with_faults(
+    spec: &WorkloadSpec,
+    plan: &cxl_sim::faults::FaultPlan,
+    background: f64,
+) -> (System, Region) {
+    let config = SystemConfig::scaled_default()
+        .with_cxl_frames(spec.footprint_pages + 1024)
+        .with_ddr_frames(spec.footprint_pages / 2)
+        .with_contention(ContentionConfig::enabled_default().with_cxl_background(background));
     let mut sys = System::with_fault_plan(config, plan);
     let region = sys
         .alloc_region(spec.footprint_pages, Placement::AllOnCxl)

@@ -1,0 +1,286 @@
+//! Loaded-latency sweep harness: throughput vs offered load, and the
+//! migration-storm backpressure figure.
+//!
+//! The contention model (`cxl_sim::contention`) makes a node's latency a
+//! function of the load offered to its link. This module sweeps that axis:
+//! run the same workload against CXL links carrying increasing background
+//! load and record the simulated throughput and the loaded latency the
+//! Monitor would see. The resulting curve is flat up to the configured
+//! knee, then bends — the classic loaded-latency shape silicon CXL
+//! characterizations report.
+//!
+//! The second figure isolates the *shared-link budget*: a storm of page
+//! migrations deposits copy traffic into the same token bucket demand
+//! fills drain from, so demand latency during the storm rises above the
+//! calm phase. With contention disabled both phases bill identical fixed
+//! costs and the delta is exactly zero — which is also a regression test
+//! that the opt-in layer stays opt-in.
+
+use cxl_sim::prelude::*;
+use m5_workloads::registry::Benchmark;
+
+/// Backgrounds swept by the default figure: from idle through the default
+/// knee (0.65) into saturation.
+pub const SWEEP_BACKGROUNDS: [f64; 7] = [0.0, 0.3, 0.5, 0.65, 0.75, 0.85, 0.95];
+
+/// A daemon that never migrates but rolls the bandwidth + contention
+/// window at a fixed cadence — the Monitor's heartbeat without a manager,
+/// so the loaded-latency curve tracks offered load even in a
+/// migration-free sweep (`NoMigration` would never close a window).
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorOnly {
+    period: Nanos,
+    wake: Option<Nanos>,
+}
+
+impl MonitorOnly {
+    /// A monitor heartbeat with the given window width.
+    pub fn new(period: Nanos) -> MonitorOnly {
+        MonitorOnly { period, wake: None }
+    }
+}
+
+impl MigrationDaemon for MonitorOnly {
+    fn name(&self) -> &str {
+        "monitor-only"
+    }
+
+    fn on_start(&mut self, sys: &mut System) {
+        self.wake = Some(sys.now() + self.period);
+    }
+
+    fn next_wake(&self) -> Option<Nanos> {
+        self.wake
+    }
+
+    fn on_tick(&mut self, sys: &mut System) {
+        let _ = sys.rollover_bandwidth();
+        self.wake = Some(sys.now() + self.period);
+    }
+}
+
+/// One point of the throughput-vs-offered-load curve.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadedPoint {
+    /// Background load offered to the CXL link (fraction of peak).
+    pub background: f64,
+    /// Accesses completed.
+    pub accesses: u64,
+    /// Simulated time the run took.
+    pub total_time: Nanos,
+    /// End-of-run loaded CXL latency estimate (unloaded + queue extra).
+    pub loaded_latency: Nanos,
+    /// End-of-run CXL link utilization the curve was computed from.
+    pub utilization: f64,
+}
+
+impl LoadedPoint {
+    /// Simulated throughput in accesses per simulated second.
+    pub fn sim_accesses_per_sec(&self) -> f64 {
+        if self.total_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.accesses as f64 / self.total_time.as_secs_f64()
+    }
+}
+
+/// Runs `benchmark` once per background in `backgrounds` on a
+/// contention-enabled machine (or the fixed-cost machine when `contended`
+/// is false, in which case the curve is flat by construction) and returns
+/// the curve.
+pub fn sweep(
+    benchmark: Benchmark,
+    seed: u64,
+    accesses: u64,
+    backgrounds: &[f64],
+    contended: bool,
+) -> Vec<LoadedPoint> {
+    let spec = benchmark.spec();
+    backgrounds
+        .iter()
+        .map(|&background| {
+            let (mut sys, region) = if contended {
+                crate::standard_contended_system(&spec, background)
+            } else {
+                crate::standard_system(&spec)
+            };
+            let mut wl = spec.build(region.base, accesses, seed);
+            let mut daemon = MonitorOnly::new(Nanos::from_micros(100));
+            let report = cxl_sim::system::run(&mut sys, &mut wl, &mut daemon, accesses);
+            LoadedPoint {
+                background,
+                accesses: report.accesses,
+                total_time: report.total_time,
+                loaded_latency: sys.loaded_latency(NodeId::Cxl),
+                utilization: sys.contention().utilization(NodeId::Cxl),
+            }
+        })
+        .collect()
+}
+
+/// The migration-storm backpressure figure: mean demand-access latency in
+/// a calm phase versus a phase where page-copy traffic storms the same
+/// CXL link.
+#[derive(Clone, Copy, Debug)]
+pub struct StormFigure {
+    /// Whether the run had the contention model enabled.
+    pub contended: bool,
+    /// Mean demand latency with no migration traffic, ns.
+    pub calm_avg_ns: f64,
+    /// Mean demand latency while migrations storm the link, ns.
+    pub storm_avg_ns: f64,
+    /// Pages actually migrated during the storm phase.
+    pub migrated: u64,
+}
+
+impl StormFigure {
+    /// Queueing backpressure visible to demand traffic, ns.
+    pub fn backpressure_ns(&self) -> f64 {
+        self.storm_avg_ns - self.calm_avg_ns
+    }
+}
+
+/// Accesses per phase of [`migration_storm`].
+const STORM_PHASE_ACCESSES: u64 = 8_192;
+/// Demand accesses between migration batches in the storm phase.
+const STORM_INTERLEAVE: u64 = 8;
+/// Pages migrated per batch.
+const STORM_BATCH: u64 = 2;
+
+/// Measures demand latency with and without a concurrent migration storm.
+///
+/// The schedule is built so the *fixed-cost* path prices every demand
+/// access identically in both phases: cache pollution and periodic TLB
+/// flushes are disabled, every access is a cold TLB + LLC miss (one touch
+/// per line, one line per page stride), and the stormed pages are
+/// disjoint from the demand range. Any calm-vs-storm delta is therefore
+/// attributable to link queueing alone — exactly zero when `contended` is
+/// false, positive when the storm's copy traffic backpressures demand.
+pub fn migration_storm(contended: bool) -> StormFigure {
+    let demand_pages = 2 * STORM_PHASE_ACCESSES; // one line per page, never reused
+    let storm_pages = (STORM_PHASE_ACCESSES / STORM_INTERLEAVE) * STORM_BATCH;
+    let total_pages = demand_pages + storm_pages;
+    let mut config = SystemConfig::scaled_default()
+        .with_cxl_frames(total_pages + 1024)
+        .with_ddr_frames(storm_pages + 1024);
+    config.migration_pollutes_cache = false;
+    config.tlb_flush_interval = None;
+    if contended {
+        config = config.with_contention(ContentionConfig::enabled_default());
+    }
+    let mut sys = System::new(config);
+    let region = sys
+        .alloc_region(total_pages, Placement::AllOnCxl)
+        .expect("CXL sized to fit");
+
+    /// One measured phase: cold single-line touches on consecutive fresh
+    /// pages, `interleave` invoked between every `STORM_INTERLEAVE`
+    /// accesses, windows rolled every 512.
+    fn phase(
+        sys: &mut System,
+        base: cxl_sim::addr::VirtAddr,
+        page: &mut u64,
+        interleave: &mut dyn FnMut(&mut System),
+    ) -> f64 {
+        let mut sum_ns = 0u128;
+        for i in 0..STORM_PHASE_ACCESSES {
+            let addr = base.offset(*page * PAGE_SIZE as u64);
+            *page += 1;
+            let out = sys.access(addr, false);
+            sum_ns += out.latency.0 as u128;
+            if (i + 1) % STORM_INTERLEAVE == 0 {
+                interleave(sys);
+            }
+            if (i + 1) % 512 == 0 {
+                let _ = sys.rollover_bandwidth();
+            }
+        }
+        sum_ns as f64 / STORM_PHASE_ACCESSES as f64
+    }
+
+    let mut page = 0u64;
+    let calm_avg_ns = phase(&mut sys, region.base, &mut page, &mut |_| {});
+
+    let mut migrated = 0u64;
+    let mut next_victim = demand_pages;
+    let storm_avg_ns = phase(&mut sys, region.base, &mut page, &mut |sys| {
+        for _ in 0..STORM_BATCH {
+            let vpn = region.base.vpn().offset(next_victim);
+            next_victim += 1;
+            if sys.migrate_page(vpn, NodeId::Ddr).is_ok() {
+                migrated += 1;
+            }
+        }
+    });
+
+    StormFigure {
+        contended,
+        calm_avg_ns,
+        storm_avg_ns,
+        migrated,
+    }
+}
+
+/// Renders the sweep + storm figures as the JSON artifact CI uploads.
+pub fn render_json(on: &[LoadedPoint], off: &[LoadedPoint], storm: &StormFigure) -> String {
+    let mut out = String::from("{\n  \"loaded_latency_sweep\": [\n");
+    let render_points = |out: &mut String, points: &[LoadedPoint], label: &str| {
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"contention\": \"{label}\", \"background\": {:.2}, \
+                 \"accesses\": {}, \"sim_ns\": {}, \
+                 \"sim_accesses_per_sec\": {:.0}, \"loaded_latency_ns\": {}, \
+                 \"utilization\": {:.4}}}{}\n",
+                p.background,
+                p.accesses,
+                p.total_time.0,
+                p.sim_accesses_per_sec(),
+                p.loaded_latency.0,
+                p.utilization,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+    };
+    render_points(&mut out, on, "on");
+    if !off.is_empty() {
+        out.push_str(",\n");
+        render_points(&mut out, off, "off");
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"migration_storm\": {{\"contended\": {}, \"calm_avg_ns\": {:.1}, \
+         \"storm_avg_ns\": {:.1}, \"backpressure_ns\": {:.1}, \"migrated\": {}}}\n}}\n",
+        storm.contended,
+        storm.calm_avg_ns,
+        storm.storm_avg_ns,
+        storm.backpressure_ns(),
+        storm.migrated
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_only_rolls_windows() {
+        let spec = Benchmark::Mcf.spec();
+        let (mut sys, region) = crate::standard_system(&spec);
+        let mut wl = spec.build(region.base, 5_000, 1);
+        let mut d = MonitorOnly::new(Nanos::from_micros(10));
+        let report = cxl_sim::system::run(&mut sys, &mut wl, &mut d, 5_000);
+        assert_eq!(report.accesses, 5_000);
+        assert_eq!(
+            report.migrations.promotions, 0,
+            "monitor-only never migrates"
+        );
+    }
+
+    #[test]
+    fn storm_phase_migrates_pages() {
+        let fig = migration_storm(true);
+        assert!(fig.migrated > 0, "storm never migrated a page");
+        assert!(fig.calm_avg_ns > 0.0);
+    }
+}

@@ -36,15 +36,23 @@ type Driver =
 
 /// Runs one workload under `daemon_new()` with telemetry enabled and the
 /// given driver, returning the full rendered snapshot + report.
+/// `contended` enables the queueing timing model with that CXL background
+/// load — the determinism contract must hold with contention state in the
+/// loop too.
+#[allow(clippy::too_many_arguments)]
 fn observe(
     spec: &m5_workloads::registry::WorkloadSpec,
     plan: &FaultPlan,
     seed: u64,
     accesses: u64,
+    contended: Option<f64>,
     daemon_new: &dyn Fn() -> BoxedDaemon,
     drive: &Driver,
 ) -> (String, String) {
-    let (mut sys, region) = m5_bench::standard_system_with_faults(spec, plan);
+    let (mut sys, region) = match contended {
+        Some(bg) => m5_bench::standard_contended_system_with_faults(spec, plan, bg),
+        None => m5_bench::standard_system_with_faults(spec, plan),
+    };
     sys.install_telemetry(Telemetry::enabled());
     let mut wl = spec.build(region.base, accesses, seed);
     let mut daemon = daemon_new();
@@ -56,23 +64,32 @@ fn observe(
 
 /// Asserts every chunked/overlapped variant matches the per-access
 /// reference for one (spec, plan, daemon) configuration.
+#[allow(clippy::too_many_arguments)]
 fn assert_all_drivers_match(
     label: &str,
     spec: &m5_workloads::registry::WorkloadSpec,
     plan: &FaultPlan,
     seed: u64,
     accesses: u64,
+    contended: Option<f64>,
     daemon_new: &dyn Fn() -> BoxedDaemon,
 ) {
-    let reference = observe(spec, plan, seed, accesses, daemon_new, &|s, w, d, m| {
-        run_per_access(s, w, d, m)
-    });
+    let reference = observe(
+        spec,
+        plan,
+        seed,
+        accesses,
+        contended,
+        daemon_new,
+        &|s, w, d, m| run_per_access(s, w, d, m),
+    );
     for cap in CAPS {
         let chunked = observe(
             spec,
             plan,
             seed,
             accesses,
+            contended,
             daemon_new,
             &move |s, w, d, m| run_chunked(s, w, d, m, cap),
         );
@@ -85,6 +102,7 @@ fn assert_all_drivers_match(
             plan,
             seed,
             accesses,
+            contended,
             daemon_new,
             &move |s, w, d, m| run_overlapped_chunked(s, w, d, m, cap),
         );
@@ -112,6 +130,7 @@ fn golden_workloads_match_per_access_at_every_chunk_size() {
             &FaultPlan::none(),
             g.seed,
             ACCESSES,
+            None,
             &m5_daemon,
         );
     }
@@ -148,7 +167,7 @@ fn fault_plan_runs_match_per_access_at_every_chunk_size() {
                 duration: Nanos::from_micros(400),
             },
         );
-    assert_all_drivers_match("faulted-spec", &spec, &plan, 42, 40_000, &m5_daemon);
+    assert_all_drivers_match("faulted-spec", &spec, &plan, 42, 40_000, None, &m5_daemon);
 }
 
 /// ANB unmaps pages and relies on NUMA hinting faults delivered through
@@ -165,6 +184,26 @@ fn anb_hinting_fault_path_matches_per_access() {
         &FaultPlan::none(),
         42,
         ACCESSES,
+        None,
         &|| Box::new(Anb::new(AnbConfig::default())),
+    );
+}
+
+/// With the contention model enabled (queueing state, per-class billing,
+/// window rollovers all live), every driver must still match the
+/// per-access reference byte-for-byte at every chunk size — the queue
+/// advances only with the sim clock, never with batching structure.
+#[test]
+fn contended_runs_match_per_access_at_every_chunk_size() {
+    let g = &GOLDENS[0];
+    let spec = g.benchmark.spec();
+    assert_all_drivers_match(
+        "contended-graph",
+        &spec,
+        &FaultPlan::none(),
+        g.seed,
+        ACCESSES,
+        Some(0.7),
+        &m5_daemon,
     );
 }

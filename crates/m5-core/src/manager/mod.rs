@@ -46,6 +46,8 @@ pub enum ConfigError {
     BadMigrationBudget(f64),
     /// `hot_log_cap` is zero: every identified page would be dropped.
     ZeroHotLogCap,
+    /// `congestion_knee` is not a finite factor greater than 1.0.
+    BadCongestionKnee(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -65,6 +67,9 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::ZeroHotLogCap => write!(f, "hot_log_cap must be nonzero"),
+            ConfigError::BadCongestionKnee(k) => {
+                write!(f, "congestion_knee {k} must be a finite factor > 1.0")
+            }
         }
     }
 }
@@ -102,6 +107,13 @@ pub struct M5Config {
     /// would otherwise dominate short runs; real deployments amortise it
     /// over hours. Matches the DAMON baseline's quota for fairness.
     pub migration_time_budget: f64,
+    /// Congestion backoff threshold: when the Monitor reports CXL's loaded
+    /// latency at or above this multiple of its unloaded latency, the epoch
+    /// halves its promotion batch — page copies share the congested link
+    /// with demand traffic, and a storm of them is exactly what made the
+    /// link slow. Inert when the contention model is disabled (loaded ==
+    /// unloaded, factor 1.0 < any valid knee).
+    pub congestion_knee: f64,
 }
 
 impl Default for M5Config {
@@ -116,6 +128,7 @@ impl Default for M5Config {
             record_only: false,
             hot_log_cap: 128 * 1024,
             migration_time_budget: 0.25,
+            congestion_knee: 2.0,
         }
     }
 }
@@ -140,6 +153,9 @@ impl M5Config {
         }
         if self.hot_log_cap == 0 {
             return Err(ConfigError::ZeroHotLogCap);
+        }
+        if !self.congestion_knee.is_finite() || self.congestion_knee <= 1.0 {
+            return Err(ConfigError::BadCongestionKnee(self.congestion_knee));
         }
         Ok(())
     }
@@ -426,6 +442,17 @@ impl MigrationDaemon for M5Manager {
         }
         let evacuating = sys.ras().health(NodeId::Cxl) >= cxl_sim::ras::NodeHealth::Evacuating;
         let stats = self.monitor.sample(sys);
+        // Congestion backoff: page copies ride the same CXL link as demand
+        // traffic, so when the Monitor sees the loaded latency past the
+        // knee, halve this epoch's promotion batch rather than pile more
+        // copy traffic onto an already-queueing link. With the contention
+        // model disabled loaded == unloaded and this never fires.
+        let mut batch = self.config.promote_batch;
+        if stats.congestion(NodeId::Cxl) >= self.config.congestion_knee {
+            batch = (batch / 2).max(1);
+            sys.telemetry_mut()
+                .counter_add("m5.congestion", "backoff", 1);
+        }
         let mut decision = self.elector.decide(&stats);
         if evacuating {
             // Suspend the promotion flow for the rest of the evacuation:
@@ -464,8 +491,8 @@ impl MigrationDaemon for M5Manager {
             // Oversample, then keep only candidates still resident on CXL:
             // tracker output is one epoch behind the page table, so some
             // reported frames have already moved or been freed.
-            let mut nominated = Vec::with_capacity(self.config.promote_batch);
-            for e in self.nominator.nominate(self.config.promote_batch * 4) {
+            let mut nominated = Vec::with_capacity(batch);
+            for e in self.nominator.nominate(batch * 4) {
                 let live_on_cxl = sys
                     .page_table()
                     .vpn_of(e.pfn)
@@ -473,7 +500,7 @@ impl MigrationDaemon for M5Manager {
                     .is_some_and(|pte| pte.node() == NodeId::Cxl);
                 if live_on_cxl {
                     nominated.push(e);
-                    if nominated.len() >= self.config.promote_batch {
+                    if nominated.len() >= batch {
                         break;
                     }
                 } else {
@@ -775,6 +802,64 @@ mod tests {
             .validate(),
             Err(ConfigError::BadMigrationBudget(-1.0))
         );
+        assert_eq!(
+            M5Config {
+                congestion_knee: 1.0,
+                ..M5Config::default()
+            }
+            .validate(),
+            Err(ConfigError::BadCongestionKnee(1.0))
+        );
+        assert_eq!(
+            M5Config {
+                congestion_knee: f64::NAN,
+                ..M5Config::default()
+            }
+            .validate()
+            .is_err(),
+            true
+        );
+    }
+
+    #[test]
+    fn congestion_backoff_fires_only_under_contention() {
+        // A heavily background-loaded CXL link pushes the loaded latency
+        // past the 2.0x knee, and the manager records backoff epochs; the
+        // identical run with contention disabled records none.
+        for (background, expect_backoff) in [(0.95, true), (0.0, false)] {
+            let contention = if expect_backoff {
+                ContentionConfig::enabled_default().with_cxl_background(background)
+            } else {
+                ContentionConfig::disabled()
+            };
+            let mut sys = System::new(
+                SystemConfig::small()
+                    .with_cxl_frames(1024)
+                    .with_ddr_frames(256)
+                    .with_contention(contention),
+            );
+            sys.install_telemetry(Telemetry::enabled());
+            let region = sys.alloc_region(512, Placement::AllOnCxl).unwrap();
+            let mut wl = SkewedStream {
+                base: region.base,
+                pages: 512,
+                hot: 16,
+                rng: SmallRng::seed_from_u64(3),
+                remaining: 100_000,
+            };
+            let mut m5 = M5Manager::new(M5Config::default());
+            let _ = run(&mut sys, &mut wl, &mut m5, u64::MAX);
+            let backoffs = sys
+                .telemetry()
+                .snapshot()
+                .counter("m5.congestion", "backoff")
+                .unwrap_or(0);
+            if expect_backoff {
+                assert!(backoffs > 0, "saturated link must trigger backoff");
+            } else {
+                assert_eq!(backoffs, 0, "fixed-cost path must never back off");
+            }
+        }
     }
 
     #[test]

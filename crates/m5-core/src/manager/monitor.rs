@@ -15,6 +15,11 @@ use cxl_sim::system::System;
 pub struct TierStats {
     nr_pages: [u64; 2],
     bw: [f64; 2],
+    /// Configured unloaded access latency per node, ns (0 when unsampled).
+    lat_unloaded: [f64; 2],
+    /// Current loaded access latency per node, ns — equals the unloaded
+    /// value when the contention model is disabled or the link is idle.
+    lat_loaded: [f64; 2],
 }
 
 fn idx(node: NodeId) -> usize {
@@ -25,9 +30,42 @@ fn idx(node: NodeId) -> usize {
 }
 
 impl TierStats {
-    /// Builds a snapshot from raw samples (`[DDR, CXL]` order).
+    /// Builds a snapshot from raw samples (`[DDR, CXL]` order). Latencies
+    /// default to zero (no congestion signal); see
+    /// [`TierStats::with_latency`].
     pub fn new(nr_pages: [u64; 2], bw: [f64; 2]) -> TierStats {
-        TierStats { nr_pages, bw }
+        TierStats {
+            nr_pages,
+            bw,
+            lat_unloaded: [0.0; 2],
+            lat_loaded: [0.0; 2],
+        }
+    }
+
+    /// Returns this snapshot with per-node latency samples attached
+    /// (`[DDR, CXL]` order, nanoseconds).
+    pub fn with_latency(mut self, unloaded: [f64; 2], loaded: [f64; 2]) -> TierStats {
+        self.lat_unloaded = unloaded;
+        self.lat_loaded = loaded;
+        self
+    }
+
+    /// Current loaded access latency of `node` in nanoseconds.
+    pub fn loaded_latency(&self, node: NodeId) -> f64 {
+        self.lat_loaded[idx(node)]
+    }
+
+    /// Congestion factor of `node`: loaded latency over unloaded latency.
+    /// 1.0 means an idle link; 2.0 means queueing has doubled the access
+    /// time. Returns 1.0 when no latency sample was attached, so consumers
+    /// see "no congestion" rather than a division by zero.
+    pub fn congestion(&self, node: NodeId) -> f64 {
+        let unloaded = self.lat_unloaded[idx(node)];
+        if unloaded == 0.0 {
+            1.0
+        } else {
+            self.lat_loaded[idx(node)] / unloaded
+        }
     }
 
     /// Pages allocated to `node`.
@@ -91,9 +129,19 @@ impl Monitor {
         // `rollover_bandwidth` also publishes the per-node bandwidth and
         // occupancy gauges on the system's telemetry bus.
         let [ddr, cxl] = sys.rollover_bandwidth();
+        let unloaded = [
+            sys.config().ddr.access_latency.0 as f64,
+            sys.config().cxl.access_latency.0 as f64,
+        ];
+        let loaded = [
+            sys.loaded_latency(NodeId::Ddr).0 as f64,
+            sys.loaded_latency(NodeId::Cxl).0 as f64,
+        ];
         TierStats {
             nr_pages: [sys.nr_pages(NodeId::Ddr), sys.nr_pages(NodeId::Cxl)],
             bw: [ddr.bytes_per_sec(), cxl.bytes_per_sec()],
+            lat_unloaded: unloaded,
+            lat_loaded: loaded,
         }
     }
 
@@ -126,6 +174,16 @@ mod tests {
         assert_eq!(s.bw_den(NodeId::Ddr), 0.0);
         assert_eq!(s.rel_bw_den(NodeId::Cxl), 0.0);
         assert_eq!(s.bw_tot(), 0.0);
+        // No latency sample attached: congestion reads as "idle", not NaN.
+        assert_eq!(s.congestion(NodeId::Cxl), 1.0);
+    }
+
+    #[test]
+    fn congestion_is_loaded_over_unloaded() {
+        let s = TierStats::new([10, 10], [1e9, 1e9]).with_latency([100.0, 400.0], [100.0, 900.0]);
+        assert_eq!(s.congestion(NodeId::Ddr), 1.0);
+        assert!((s.congestion(NodeId::Cxl) - 2.25).abs() < 1e-12);
+        assert_eq!(s.loaded_latency(NodeId::Cxl), 900.0);
     }
 
     #[test]
@@ -149,5 +207,23 @@ mod tests {
         assert_eq!(s2.bw(NodeId::CXL), 0.0);
         assert_eq!(mon.samples(), 2);
         assert!(sys.kernel_costs().of(CostKind::ManagerQuery) > Nanos::ZERO);
+        // Fixed-cost path: loaded == unloaded, congestion factor 1.0.
+        assert_eq!(s.congestion(NodeId::CXL), 1.0);
+    }
+
+    #[test]
+    fn sampling_a_contended_system_reports_congestion() {
+        use cxl_sim::prelude::*;
+        let cfg = SystemConfig::small()
+            .with_contention(ContentionConfig::enabled_default().with_cxl_background(0.9));
+        let mut sys = System::new(cfg);
+        let mut mon = Monitor::new();
+        let s = mon.sample(&mut sys);
+        assert!(
+            s.congestion(NodeId::CXL) > 1.0,
+            "a 90%-background-loaded CXL link must read as congested, got {}",
+            s.congestion(NodeId::CXL)
+        );
+        assert_eq!(s.congestion(NodeId::DDR), 1.0);
     }
 }
