@@ -195,6 +195,51 @@ impl Llc {
         self.policy
     }
 
+    /// Serializes the packed entry array (LRU order included), pseudo-LRU
+    /// trees, and hit/miss/writeback counters for a checkpoint. Geometry
+    /// and policy are rebuilt from configuration on restore.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64_slice(&self.entries);
+        w.put_u64_slice(&self.plru);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.writebacks);
+    }
+
+    /// Rebuilds a cache from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors; rejects arrays that do not match the
+    /// geometry implied by `config`/`policy`.
+    pub fn restore(
+        config: LlcConfig,
+        policy: ReplacementPolicy,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Llc, crate::checkpoint::CodecError> {
+        let mut llc = Llc::with_policy(config, policy);
+        let entries = r.get_u64_vec()?;
+        if entries.len() != llc.entries.len() {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "llc entry count",
+                value: entries.len() as u64,
+            });
+        }
+        let plru = r.get_u64_vec()?;
+        if plru.len() != llc.plru.len() {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "llc plru tree count",
+                value: plru.len() as u64,
+            });
+        }
+        llc.entries = entries;
+        llc.plru = plru;
+        llc.hits = r.get_u64()?;
+        llc.misses = r.get_u64()?;
+        llc.writebacks = r.get_u64()?;
+        Ok(llc)
+    }
+
     #[inline]
     fn set_index(&self, line: CacheLineAddr) -> usize {
         if self.set_mask != 0 {

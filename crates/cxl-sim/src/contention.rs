@@ -467,6 +467,54 @@ impl Contention {
     pub fn params(&self, node: NodeId) -> &LinkParams {
         &self.links[idx(node)].p
     }
+
+    /// Serializes both links' dynamic queue state for a checkpoint.
+    /// Parameters and the unloaded floor are rebuilt from configuration.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        for l in &self.links {
+            w.put_u64(l.cur_extra.0);
+            w.put_f64(l.cur_util);
+            w.put_u64(l.backlog);
+            w.put_u64(l.last_drain.0);
+            w.put_u64(l.win_start.0);
+            for i in 0..3 {
+                w.put_u64(l.win_bytes[i]);
+                w.put_u64(l.win_ns[i]);
+                w.put_u64(l.tot_bytes[i]);
+                w.put_u64(l.tot_ns[i]);
+            }
+            w.put_u64(l.win_total_ns);
+        }
+    }
+
+    /// Rebuilds the model from a checkpoint section, given the active
+    /// configuration and the per-node unloaded latencies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        cfg: &ContentionConfig,
+        unloaded: [Nanos; 2],
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Contention, crate::checkpoint::CodecError> {
+        let mut c = Contention::new(cfg, unloaded);
+        for l in &mut c.links {
+            l.cur_extra = Nanos(r.get_u64()?);
+            l.cur_util = r.get_f64()?;
+            l.backlog = r.get_u64()?;
+            l.last_drain = Nanos(r.get_u64()?);
+            l.win_start = Nanos(r.get_u64()?);
+            for i in 0..3 {
+                l.win_bytes[i] = r.get_u64()?;
+                l.win_ns[i] = r.get_u64()?;
+                l.tot_bytes[i] = r.get_u64()?;
+                l.tot_ns[i] = r.get_u64()?;
+            }
+            l.win_total_ns = r.get_u64()?;
+        }
+        Ok(c)
+    }
 }
 
 #[cfg(test)]

@@ -127,8 +127,14 @@ impl CxlController {
         let mut slot = Some(device);
         let any: &mut dyn Any = &mut slot;
         let entry = match any.downcast_mut::<Option<crate::trace::TraceCapture>>() {
-            Some(t) => AttachedDevice::Trace(t.take().expect("slot is fresh")),
-            None => AttachedDevice::Dyn(Box::new(slot.take().expect("slot unclaimed"))),
+            Some(t) => AttachedDevice::Trace(
+                t.take()
+                    .expect("slot was filled above and taken at most once"),
+            ),
+            None => AttachedDevice::Dyn(Box::new(
+                slot.take()
+                    .expect("downcast missed, so the slot still holds the device"),
+            )),
         };
         self.devices.push(entry);
         DeviceHandle(self.devices.len() - 1)

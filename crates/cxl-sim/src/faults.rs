@@ -73,13 +73,21 @@ pub enum FaultClass {
     /// The operator (or fabric manager) announces an orderly hot-remove:
     /// the node must be evacuated live and taken offline.
     HotRemove,
+    /// The next checkpoint commit crashes mid-write, leaving a torn
+    /// snapshot on disk. Consumed by the checkpointing harness (not the
+    /// `System` hot path): the commit is truncated at a manifest section
+    /// boundary so restore must either reject it and fall back or — for a
+    /// crash between the commit renames — find the previous snapshot
+    /// still valid.
+    TornCheckpoint,
 }
 
 impl FaultClass {
     /// All classes, in display order. The RAS classes are appended *after*
-    /// the original nine so [`FaultPlan::chaos`]'s per-class RNG draws for
-    /// the pre-RAS classes are unchanged for a given seed.
-    pub const ALL: [FaultClass; 12] = [
+    /// the original nine — and [`FaultClass::TornCheckpoint`] after those —
+    /// so [`FaultPlan::chaos`]'s per-class RNG draws for the earlier
+    /// classes are unchanged for a given seed.
+    pub const ALL: [FaultClass; 13] = [
         FaultClass::LatencySpike,
         FaultClass::ControllerStall,
         FaultClass::PoisonedLine,
@@ -92,6 +100,7 @@ impl FaultClass {
         FaultClass::CorrectableEcc,
         FaultClass::LinkDegrade,
         FaultClass::HotRemove,
+        FaultClass::TornCheckpoint,
     ];
 
     fn index(self) -> usize {
@@ -108,7 +117,12 @@ impl FaultClass {
             FaultClass::CorrectableEcc => 9,
             FaultClass::LinkDegrade => 10,
             FaultClass::HotRemove => 11,
+            FaultClass::TornCheckpoint => 12,
         }
+    }
+
+    fn from_index(i: u64) -> Option<FaultClass> {
+        FaultClass::ALL.get(i as usize).copied()
     }
 
     /// The class's stable kebab-case name (also used as a telemetry label).
@@ -126,6 +140,7 @@ impl FaultClass {
             FaultClass::CorrectableEcc => "correctable-ecc",
             FaultClass::LinkDegrade => "link-degrade",
             FaultClass::HotRemove => "hot-remove",
+            FaultClass::TornCheckpoint => "torn-checkpoint",
         }
     }
 }
@@ -239,6 +254,16 @@ pub enum FaultKind {
         /// Journal step index at which the reset strikes.
         at_step: u64,
     },
+    /// Tear the next checkpoint commit: the snapshot write crashes after
+    /// `at_section` manifest sections have reached disk (an index `>=` the
+    /// section count models a crash between the commit renames — the new
+    /// snapshot is complete but never promoted into place). Consumed by
+    /// the checkpointing harness via
+    /// [`FaultInjector::take_torn_checkpoint`].
+    TornCheckpoint {
+        /// Manifest section index at which the commit is cut short.
+        at_section: u64,
+    },
 }
 
 impl FaultKind {
@@ -252,6 +277,7 @@ impl FaultKind {
             FaultKind::MigrationCopyFail { .. } => FaultClass::MigrationCopyFail,
             FaultKind::DdrPressure { .. } => FaultClass::DdrPressure,
             FaultKind::ControllerReset { .. } => FaultClass::ControllerReset,
+            FaultKind::TornCheckpoint { .. } => FaultClass::TornCheckpoint,
         }
     }
 }
@@ -311,6 +337,13 @@ impl FaultPlan {
         let span = horizon.0.max(8);
         let window = Nanos(span / 20 + 1);
         for class in FaultClass::ALL {
+            // Torn checkpoints are harness-level faults: they only matter to
+            // runs that actually checkpoint, and scheduling them here would
+            // change every existing chaos plan's RNG stream. Skipped before
+            // any draw so plans for a given seed are unchanged.
+            if class == FaultClass::TornCheckpoint {
+                continue;
+            }
             for _ in 0..rng.gen_range(1u32..=3) {
                 let at = Nanos(rng.gen_range(0..span));
                 let kind = match class {
@@ -345,6 +378,8 @@ impl FaultPlan {
                         factor: rng.gen_range(110u32..=300),
                     }),
                     FaultClass::HotRemove => FaultKind::Device(DeviceFault::HotRemovePrepare),
+                    // Skipped above before any RNG draw.
+                    FaultClass::TornCheckpoint => continue,
                 };
                 schedule.push(ScheduledFault { at, kind });
             }
@@ -381,6 +416,7 @@ pub struct FaultInjector {
     poison_pending: u32,
     copy_fail_pending: u32,
     reset_steps: Vec<u64>,
+    torn_sections: Vec<u64>,
     device_queue: Vec<DeviceFault>,
     ras_queue: Vec<DeviceFault>,
     log: Vec<FaultEvent>,
@@ -412,6 +448,7 @@ impl FaultInjector {
             poison_pending: 0,
             copy_fail_pending: 0,
             reset_steps: Vec::new(),
+            torn_sections: Vec::new(),
             device_queue: Vec::new(),
             ras_queue: Vec::new(),
             log: Vec::new(),
@@ -457,6 +494,9 @@ impl FaultInjector {
                 FaultKind::ControllerReset { at_step } => {
                     self.reset_steps.push(at_step);
                 }
+                FaultKind::TornCheckpoint { at_section } => {
+                    self.torn_sections.push(at_section);
+                }
             }
         }
     }
@@ -474,6 +514,7 @@ impl FaultInjector {
             && self.poison_pending == 0
             && self.copy_fail_pending == 0
             && self.reset_steps.is_empty()
+            && self.torn_sections.is_empty()
             && self.device_queue.is_empty()
             && self.ras_queue.is_empty()
     }
@@ -546,6 +587,22 @@ impl FaultInjector {
         !self.reset_steps.is_empty()
     }
 
+    /// Consumes the next armed torn-checkpoint fault, if any, returning the
+    /// manifest section index at which the commit must be cut short. Called
+    /// by the checkpointing harness immediately before each commit.
+    pub fn take_torn_checkpoint(&mut self) -> Option<u64> {
+        if self.torn_sections.is_empty() {
+            None
+        } else {
+            Some(self.torn_sections.remove(0))
+        }
+    }
+
+    /// Whether an armed torn-checkpoint fault has not yet been consumed.
+    pub fn torn_checkpoint_pending(&self) -> bool {
+        !self.torn_sections.is_empty()
+    }
+
     /// Whether DDR allocations are artificially failing at `now`.
     pub fn ddr_pressure(&self, now: Nanos) -> bool {
         now < self.pressure_until
@@ -616,6 +673,140 @@ impl FaultInjector {
     pub fn count_of(&self, class: FaultClass) -> u64 {
         self.counts[class.index()]
     }
+
+    /// Serializes the injector's dynamic state for a checkpoint. The
+    /// schedule itself is not written — it is pure plan data the restoring
+    /// process supplies again — only the arming cursor and everything armed
+    /// but not yet consumed.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.next as u64);
+        w.put_u64(self.spike_extra.0);
+        w.put_u64(self.spike_until.0);
+        w.put_u64(self.stall_until.0);
+        w.put_u64(self.pressure_until.0);
+        w.put_u32(self.poison_pending);
+        w.put_u32(self.copy_fail_pending);
+        w.put_u64_slice(&self.reset_steps);
+        w.put_u64_slice(&self.torn_sections);
+        w.put_u64(self.device_queue.len() as u64);
+        for d in &self.device_queue {
+            save_device_fault(*d, w);
+        }
+        w.put_u64(self.ras_queue.len() as u64);
+        for d in &self.ras_queue {
+            save_device_fault(*d, w);
+        }
+        w.put_u64(self.log.len() as u64);
+        for e in &self.log {
+            w.put_u64(e.at.0);
+            w.put_u64(e.class.index() as u64);
+        }
+        for c in &self.counts {
+            w.put_u64(*c);
+        }
+        w.put_u64(self.poison_repairs);
+    }
+
+    /// Rebuilds an injector executing `plan` from a checkpoint section.
+    /// The supplied plan must be the one the checkpointed run used; the
+    /// arming cursor is validated against its length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload, or a
+    /// cursor past the end of `plan`.
+    pub fn restore(
+        plan: &FaultPlan,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<FaultInjector, crate::checkpoint::CodecError> {
+        use crate::checkpoint::CodecError;
+        let mut inj = FaultInjector::from_plan(plan);
+        let next = r.get_u64()?;
+        if next as usize > inj.schedule.len() {
+            return Err(CodecError::BadValue {
+                what: "fault-injector schedule cursor",
+                value: next,
+            });
+        }
+        inj.next = next as usize;
+        inj.spike_extra = Nanos(r.get_u64()?);
+        inj.spike_until = Nanos(r.get_u64()?);
+        inj.stall_until = Nanos(r.get_u64()?);
+        inj.pressure_until = Nanos(r.get_u64()?);
+        inj.poison_pending = r.get_u32()?;
+        inj.copy_fail_pending = r.get_u32()?;
+        inj.reset_steps = r.get_u64_vec()?;
+        inj.torn_sections = r.get_u64_vec()?;
+        let n_dev = r.get_u64()?;
+        for _ in 0..n_dev {
+            inj.device_queue.push(restore_device_fault(r)?);
+        }
+        let n_ras = r.get_u64()?;
+        for _ in 0..n_ras {
+            inj.ras_queue.push(restore_device_fault(r)?);
+        }
+        let n_log = r.get_u64()?;
+        for _ in 0..n_log {
+            let at = Nanos(r.get_u64()?);
+            let idx = r.get_u64()?;
+            let class = FaultClass::from_index(idx).ok_or(CodecError::BadValue {
+                what: "fault-event class",
+                value: idx,
+            })?;
+            inj.log.push(FaultEvent { at, class });
+        }
+        for c in &mut inj.counts {
+            *c = r.get_u64()?;
+        }
+        inj.poison_repairs = r.get_u64()?;
+        Ok(inj)
+    }
+}
+
+fn save_device_fault(d: DeviceFault, w: &mut crate::checkpoint::StateWriter) {
+    match d {
+        DeviceFault::SramBitFlip { slot, bit } => {
+            w.put_u8(0);
+            w.put_u64(slot);
+            w.put_u32(bit);
+        }
+        DeviceFault::SramSaturate => w.put_u8(1),
+        DeviceFault::Fail => w.put_u8(2),
+        DeviceFault::CorrectableEcc { pfn } => {
+            w.put_u8(3);
+            w.put_u64(pfn);
+        }
+        DeviceFault::LinkDegrade { factor } => {
+            w.put_u8(4);
+            w.put_u32(factor);
+        }
+        DeviceFault::HotRemovePrepare => w.put_u8(5),
+    }
+}
+
+fn restore_device_fault(
+    r: &mut crate::checkpoint::StateReader<'_>,
+) -> Result<DeviceFault, crate::checkpoint::CodecError> {
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => DeviceFault::SramBitFlip {
+            slot: r.get_u64()?,
+            bit: r.get_u32()?,
+        },
+        1 => DeviceFault::SramSaturate,
+        2 => DeviceFault::Fail,
+        3 => DeviceFault::CorrectableEcc { pfn: r.get_u64()? },
+        4 => DeviceFault::LinkDegrade {
+            factor: r.get_u32()?,
+        },
+        5 => DeviceFault::HotRemovePrepare,
+        t => {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "device-fault tag",
+                value: t as u64,
+            })
+        }
+    })
 }
 
 /// Unified simulator error taxonomy: things that can go wrong on the hot
@@ -756,6 +947,15 @@ mod tests {
         let c = FaultPlan::chaos(8, Nanos::from_millis(10));
         assert_ne!(a, c, "different seed, different plan");
         for class in FaultClass::ALL {
+            if class == FaultClass::TornCheckpoint {
+                // Harness-level fault: excluded from chaos plans so seeded
+                // plans predating it are byte-identical.
+                assert!(
+                    !a.schedule().iter().any(|f| f.kind.class() == class),
+                    "chaos plans must not schedule torn checkpoints"
+                );
+                continue;
+            }
             assert!(
                 a.schedule().iter().any(|f| f.kind.class() == class),
                 "chaos plan misses {class}"
@@ -763,6 +963,92 @@ mod tests {
         }
         // Sorted by trigger time.
         assert!(a.schedule().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn torn_checkpoints_arm_and_consume_in_order() {
+        let plan = FaultPlan::none()
+            .with(Nanos(10), FaultKind::TornCheckpoint { at_section: 3 })
+            .with(Nanos(20), FaultKind::TornCheckpoint { at_section: 0 });
+        let mut inj = FaultInjector::from_plan(&plan);
+        assert!(inj.take_torn_checkpoint().is_none());
+        inj.poll(Nanos(10));
+        assert!(inj.torn_checkpoint_pending());
+        assert!(!inj.quiescent(Nanos(15)));
+        assert_eq!(inj.take_torn_checkpoint(), Some(3));
+        assert!(inj.take_torn_checkpoint().is_none());
+        inj.poll(Nanos(25));
+        assert_eq!(inj.take_torn_checkpoint(), Some(0));
+        assert!(!inj.torn_checkpoint_pending());
+        assert!(inj.quiescent(Nanos(25)));
+        assert_eq!(inj.count_of(FaultClass::TornCheckpoint), 2);
+    }
+
+    #[test]
+    fn injector_checkpoint_roundtrip_preserves_armed_state() {
+        let plan = FaultPlan::none()
+            .with(
+                Nanos(50),
+                FaultKind::LatencySpike {
+                    extra: Nanos(700),
+                    duration: Nanos(100),
+                },
+            )
+            .with(Nanos(50), FaultKind::PoisonLine { reads: 3 })
+            .with(Nanos(60), FaultKind::ControllerReset { at_step: 9 })
+            .with(
+                Nanos(60),
+                FaultKind::Device(DeviceFault::SramBitFlip { slot: 12, bit: 5 }),
+            )
+            .with(
+                Nanos(60),
+                FaultKind::Device(DeviceFault::CorrectableEcc { pfn: 4 }),
+            )
+            .with(Nanos(70), FaultKind::TornCheckpoint { at_section: 2 })
+            .with(Nanos(500), FaultKind::Device(DeviceFault::Fail));
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos(80));
+        inj.note_poison_repaired();
+        assert!(inj.take_poisoned_read());
+
+        let mut w = crate::checkpoint::StateWriter::new();
+        inj.save(&mut w);
+        let bytes = w.finish();
+        let mut r = crate::checkpoint::StateReader::new(&bytes);
+        let restored = FaultInjector::restore(&plan, &mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(format!("{inj:?}"), format!("{restored:?}"));
+        // The unfired schedule entry still arms after restore.
+        let mut restored = restored;
+        restored.poll(Nanos(500));
+        assert_eq!(
+            restored.pop_device_fault(),
+            Some(DeviceFault::SramBitFlip { slot: 12, bit: 5 })
+        );
+        assert_eq!(restored.pop_device_fault(), Some(DeviceFault::Fail));
+        assert_eq!(restored.take_torn_checkpoint(), Some(2));
+        assert!(restored.take_reset(9));
+    }
+
+    #[test]
+    fn injector_restore_rejects_cursor_past_schedule() {
+        let plan = FaultPlan::none().with(Nanos(1), FaultKind::PoisonLine { reads: 1 });
+        let mut inj = FaultInjector::from_plan(&plan);
+        inj.poll(Nanos(5));
+        let mut w = crate::checkpoint::StateWriter::new();
+        inj.save(&mut w);
+        let bytes = w.finish();
+        // Restoring against the empty plan: cursor 1 > schedule length 0.
+        let mut r = crate::checkpoint::StateReader::new(&bytes);
+        let err = FaultInjector::restore(&FaultPlan::none(), &mut r).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::checkpoint::CodecError::BadValue {
+                what: "fault-injector schedule cursor",
+                ..
+            }
+        ));
     }
 
     #[test]

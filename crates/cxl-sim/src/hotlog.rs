@@ -64,6 +64,37 @@ impl HotPageLog {
     pub fn capacity(&self) -> usize {
         self.cap
     }
+
+    /// Serializes the log (identification order preserved) for a
+    /// checkpoint. The dedup set is derived state, rebuilt on restore.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.cap as u64);
+        w.put_u64(self.entries.len() as u64);
+        for &(vpn, pfn) in &self.entries {
+            w.put_u64(vpn.0);
+            w.put_u64(pfn.0);
+        }
+    }
+
+    /// Rebuilds a log from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<HotPageLog, crate::checkpoint::CodecError> {
+        let cap = r.get_u64()? as usize;
+        let n = r.get_u64()? as usize;
+        let mut log = HotPageLog::new(cap);
+        for _ in 0..n {
+            let vpn = Vpn(r.get_u64()?);
+            let pfn = Pfn(r.get_u64()?);
+            log.seen.insert(vpn);
+            log.entries.push((vpn, pfn));
+        }
+        Ok(log)
+    }
 }
 
 #[cfg(test)]

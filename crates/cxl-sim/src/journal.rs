@@ -296,6 +296,114 @@ impl MigrationJournal {
     pub fn is_fenced(&self) -> bool {
         self.fenced
     }
+
+    /// Serializes the journal for a checkpoint: open transactions (oldest
+    /// first), the id/step counters, terminal tallies, and the fence.
+    /// Telemetry spans are process-local handles and restore as `None`.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.open.len() as u64);
+        for t in &self.open {
+            w.put_u64(t.id.0);
+            w.put_u64(t.vpn.0);
+            w.put_u64(t.src.0);
+            w.put_u8(match t.dst {
+                NodeId::Ddr => 0,
+                NodeId::Cxl => 1,
+            });
+            match t.shadow {
+                Some(p) => {
+                    w.put_bool(true);
+                    w.put_u64(p.0);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_u8(match t.state {
+                TxnState::Intent => 0,
+                TxnState::CopyInProgress => 1,
+                TxnState::Remapped => 2,
+                TxnState::Committed => 3,
+                TxnState::Aborted => 4,
+                TxnState::RolledBack => 5,
+            });
+            w.put_bool(t.counted);
+        }
+        w.put_u64(self.next_id);
+        w.put_u64(self.steps);
+        w.put_u64(self.counters.committed_promotions);
+        w.put_u64(self.counters.committed_demotions);
+        w.put_u64(self.counters.aborted);
+        w.put_u64(self.counters.rolled_back);
+        w.put_bool(self.fenced);
+    }
+
+    /// Rebuilds a journal from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<MigrationJournal, crate::checkpoint::CodecError> {
+        let n = r.get_u64()? as usize;
+        let mut open = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = TxnId(r.get_u64()?);
+            let vpn = Vpn(r.get_u64()?);
+            let src = Pfn(r.get_u64()?);
+            let dst = match r.get_u8()? {
+                0 => NodeId::Ddr,
+                1 => NodeId::Cxl,
+                v => {
+                    return Err(crate::checkpoint::CodecError::BadValue {
+                        what: "journal dst node",
+                        value: v as u64,
+                    })
+                }
+            };
+            let shadow = if r.get_bool()? {
+                Some(Pfn(r.get_u64()?))
+            } else {
+                None
+            };
+            let state = match r.get_u8()? {
+                0 => TxnState::Intent,
+                1 => TxnState::CopyInProgress,
+                2 => TxnState::Remapped,
+                3 => TxnState::Committed,
+                4 => TxnState::Aborted,
+                5 => TxnState::RolledBack,
+                v => {
+                    return Err(crate::checkpoint::CodecError::BadValue {
+                        what: "journal txn state",
+                        value: v as u64,
+                    })
+                }
+            };
+            let counted = r.get_bool()?;
+            open.push(MigrationTxn {
+                id,
+                vpn,
+                src,
+                dst,
+                shadow,
+                state,
+                counted,
+                span: None,
+            });
+        }
+        Ok(MigrationJournal {
+            open,
+            next_id: r.get_u64()?,
+            steps: r.get_u64()?,
+            counters: JournalCounters {
+                committed_promotions: r.get_u64()?,
+                committed_demotions: r.get_u64()?,
+                aborted: r.get_u64()?,
+                rolled_back: r.get_u64()?,
+            },
+            fenced: r.get_bool()?,
+        })
+    }
 }
 
 /// The legal edges of the state machine (see the module diagram).

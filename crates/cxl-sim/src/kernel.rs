@@ -197,6 +197,30 @@ impl KernelCosts {
         out
     }
 
+    /// Serializes the ledger for a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        for i in 0..CostKind::ALL.len() {
+            w.put_u64(self.by_kind[i].0);
+            w.put_u64(self.events[i]);
+        }
+    }
+
+    /// Rebuilds a ledger from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<KernelCosts, crate::checkpoint::CodecError> {
+        let mut out = KernelCosts::new();
+        for i in 0..CostKind::ALL.len() {
+            out.by_kind[i] = Nanos(r.get_u64()?);
+            out.events[i] = r.get_u64()?;
+        }
+        Ok(out)
+    }
+
     /// Total kernel time excluding migration itself — the paper's §4.2
     /// "identifying hot pages alone" metric (they disable `migrate_pages()`
     /// and measure what remains). Journal writes are part of the migration

@@ -58,6 +58,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod checkpoint;
 pub mod chunk;
 pub mod config;
 pub mod contention;
@@ -87,6 +88,10 @@ pub mod prelude {
         WORD_SIZE,
     };
     pub use crate::cache::LlcConfig;
+    pub use crate::checkpoint::{
+        Checkpoint, CheckpointError, CodecError, LoadedCheckpoint, RestoreError, StateReader,
+        StateWriter,
+    };
     pub use crate::chunk::AccessChunk;
     pub use crate::config::{Placement, SystemConfig};
     pub use crate::contention::{Contention, ContentionConfig, LinkParams, TrafficClass};

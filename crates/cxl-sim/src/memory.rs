@@ -281,6 +281,43 @@ impl MemoryNode {
         n as u64
     }
 
+    /// Serializes the allocator state (free stack, quarantine FIFO,
+    /// offlined set, allocated count) for a checkpoint. Stack/queue order
+    /// is preserved exactly — frame hand-out order is behavior-bearing.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64_slice(&self.free);
+        w.put_u64_slice(&self.quarantined);
+        w.put_u64_slice(&self.offlined);
+        w.put_u64(self.allocated);
+    }
+
+    /// Rebuilds a node from a checkpoint section, given its static identity
+    /// and configuration (which are not serialized — the restoring process
+    /// supplies the same `SystemConfig`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        id: NodeId,
+        config: NodeConfig,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<MemoryNode, crate::checkpoint::CodecError> {
+        let base_pfn = match id {
+            NodeId::Ddr => 0,
+            NodeId::Cxl => CXL_BASE_PFN,
+        };
+        Ok(MemoryNode {
+            id,
+            base_pfn,
+            config,
+            free: r.get_u64_vec()?,
+            quarantined: r.get_u64_vec()?,
+            offlined: r.get_u64_vec()?,
+            allocated: r.get_u64()?,
+        })
+    }
+
     /// Permanently retires a frame that is currently *free* or
     /// *quarantined*: it leaves circulation for good (no scrub brings it
     /// back). Returns `false` — and does nothing — if the frame is
@@ -368,6 +405,28 @@ impl TieredMemory {
     /// Read latency of an access to `pfn`'s node.
     pub fn latency_of(&self, pfn: Pfn) -> Nanos {
         self.node(NodeId::of_pfn(pfn)).access_latency()
+    }
+
+    /// Serializes both nodes for a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        self.ddr.save(w);
+        self.cxl.save(w);
+    }
+
+    /// Rebuilds the tiered memory from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        ddr: NodeConfig,
+        cxl: NodeConfig,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<TieredMemory, crate::checkpoint::CodecError> {
+        Ok(TieredMemory {
+            ddr: MemoryNode::restore(NodeId::Ddr, ddr, r)?,
+            cxl: MemoryNode::restore(NodeId::Cxl, cxl, r)?,
+        })
     }
 }
 

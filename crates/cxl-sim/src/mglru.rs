@@ -123,6 +123,40 @@ impl MgLru {
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, usize)> + '_ {
         self.index.iter().map(|(&v, &g)| (v, g))
     }
+
+    /// Serializes the generations (FIFO order within each — victim order is
+    /// behavior-bearing) for a checkpoint. The index is derived state,
+    /// rebuilt on restore.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        for gen in &self.gens {
+            w.put_u64(gen.len() as u64);
+            for &vpn in gen {
+                w.put_u64(vpn.0);
+            }
+        }
+        w.put_u64(self.aging_passes);
+    }
+
+    /// Rebuilds an MGLRU from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<MgLru, crate::checkpoint::CodecError> {
+        let mut lru = MgLru::new();
+        for g in 0..NR_GENS {
+            let n = r.get_u64()? as usize;
+            for _ in 0..n {
+                let vpn = Vpn(r.get_u64()?);
+                lru.gens[g].push_back(vpn);
+                lru.index.insert(vpn, g);
+            }
+        }
+        lru.aging_passes = r.get_u64()?;
+        Ok(lru)
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,16 @@ impl PteFlags {
         PteFlags(self.0 | Self::DIRTY)
     }
 
+    /// The raw flag byte, for checkpoint serialization.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds flags from a checkpointed byte.
+    pub fn from_bits(bits: u8) -> PteFlags {
+        PteFlags(bits)
+    }
+
     fn set(&mut self, bit: u8, v: bool) {
         if v {
             self.0 |= bit;
@@ -357,6 +367,42 @@ impl PageTable {
         if let Some(pte) = self.get_mut(vpn) {
             pte.flags.set(PteFlags::CXL_BOUND, bound);
         }
+    }
+
+    /// Serializes the table (every slot, including unmapped sentinels —
+    /// the table's extent is behavior-bearing) for a checkpoint. The rmap
+    /// and mapped count are derived state and are rebuilt on restore.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.entries.len() as u64);
+        for pte in &self.entries {
+            w.put_u64(pte.pfn.0);
+            w.put_u8(pte.flags.bits());
+        }
+    }
+
+    /// Rebuilds a table from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<PageTable, crate::checkpoint::CodecError> {
+        let n = r.get_u64()? as usize;
+        let mut pt = PageTable::new();
+        pt.entries.reserve(n.min(1 << 24));
+        for _ in 0..n {
+            let pfn = Pfn(r.get_u64()?);
+            let flags = PteFlags::from_bits(r.get_u8()?);
+            pt.entries.push(Pte { pfn, flags });
+        }
+        for (i, pte) in pt.entries.iter().enumerate() {
+            if pte.is_mapped() {
+                pt.rmap.insert(pte.pfn, Vpn(i as u64));
+                pt.mapped += 1;
+            }
+        }
+        Ok(pt)
     }
 
     /// Iterates over all mapped pages.

@@ -130,6 +130,36 @@ impl PerfMonitor {
     pub fn total_writebacks(&self, node: NodeId) -> u64 {
         self.total_writebacks[idx(node)]
     }
+
+    /// Serializes the window and cumulative counters for a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        for i in 0..2 {
+            w.put_u64(self.window_reads[i]);
+            w.put_u64(self.window_writebacks[i]);
+            w.put_u64(self.total_reads[i]);
+            w.put_u64(self.total_writebacks[i]);
+        }
+        w.put_u64(self.window_start.0);
+    }
+
+    /// Rebuilds a monitor from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<PerfMonitor, crate::checkpoint::CodecError> {
+        let mut pm = PerfMonitor::new();
+        for i in 0..2 {
+            pm.window_reads[i] = r.get_u64()?;
+            pm.window_writebacks[i] = r.get_u64()?;
+            pm.total_reads[i] = r.get_u64()?;
+            pm.total_writebacks[i] = r.get_u64()?;
+        }
+        pm.window_start = Nanos(r.get_u64()?);
+        Ok(pm)
+    }
 }
 
 #[cfg(test)]

@@ -448,6 +448,158 @@ impl RasState {
     }
 }
 
+impl NodeRas {
+    fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u8(match self.health {
+            NodeHealth::Healthy => 0,
+            NodeHealth::Degraded => 1,
+            NodeHealth::Evacuating => 2,
+            NodeHealth::Offline => 3,
+        });
+        // HashMap iteration order is process-local; serialize sorted so
+        // the image is deterministic.
+        let mut ce: Vec<(u64, u32)> = self.ce_counts.iter().map(|(&k, &v)| (k, v)).collect();
+        ce.sort_unstable();
+        w.put_u64(ce.len() as u64);
+        for (idx, count) in ce {
+            w.put_u64(idx);
+            w.put_u32(count);
+        }
+        w.put_u64(self.total_ce);
+        w.put_u64(self.bucket_milli);
+        w.put_u64(self.bucket_at.0);
+        w.put_u32(self.link_factor);
+        w.put_u64_slice(&self.pending_offline);
+        w.put_u64(self.patrol_cursor);
+        w.put_u64(self.offlined);
+        match self.evac {
+            Some(e) => {
+                w.put_bool(true);
+                w.put_u64(e.started.0);
+                w.put_u64(e.deadline.0);
+                w.put_u64(e.moved);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.report {
+            Some(rep) => {
+                w.put_bool(true);
+                w.put_u8(match rep.node {
+                    NodeId::Ddr => 0,
+                    NodeId::Cxl => 1,
+                });
+                w.put_u64(rep.started.0);
+                w.put_u64(rep.finished.0);
+                w.put_u64(rep.pages_moved);
+                w.put_u64(rep.residual);
+                w.put_bool(rep.deadline_met);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<NodeRas, crate::checkpoint::CodecError> {
+        let health = match r.get_u8()? {
+            0 => NodeHealth::Healthy,
+            1 => NodeHealth::Degraded,
+            2 => NodeHealth::Evacuating,
+            3 => NodeHealth::Offline,
+            v => {
+                return Err(crate::checkpoint::CodecError::BadValue {
+                    what: "node health",
+                    value: v as u64,
+                })
+            }
+        };
+        let n_ce = r.get_u64()? as usize;
+        let mut ce_counts = HashMap::with_capacity(n_ce.min(1 << 16));
+        for _ in 0..n_ce {
+            let idx = r.get_u64()?;
+            let count = r.get_u32()?;
+            ce_counts.insert(idx, count);
+        }
+        let total_ce = r.get_u64()?;
+        let bucket_milli = r.get_u64()?;
+        let bucket_at = Nanos(r.get_u64()?);
+        let link_factor = r.get_u32()?;
+        let pending_offline = r.get_u64_vec()?;
+        let patrol_cursor = r.get_u64()?;
+        let offlined = r.get_u64()?;
+        let evac = if r.get_bool()? {
+            Some(EvacProgress {
+                started: Nanos(r.get_u64()?),
+                deadline: Nanos(r.get_u64()?),
+                moved: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        let report = if r.get_bool()? {
+            Some(EvacuationReport {
+                node: match r.get_u8()? {
+                    0 => NodeId::Ddr,
+                    1 => NodeId::Cxl,
+                    v => {
+                        return Err(crate::checkpoint::CodecError::BadValue {
+                            what: "evacuation node",
+                            value: v as u64,
+                        })
+                    }
+                },
+                started: Nanos(r.get_u64()?),
+                finished: Nanos(r.get_u64()?),
+                pages_moved: r.get_u64()?,
+                residual: r.get_u64()?,
+                deadline_met: r.get_bool()?,
+            })
+        } else {
+            None
+        };
+        Ok(NodeRas {
+            health,
+            ce_counts,
+            total_ce,
+            bucket_milli,
+            bucket_at,
+            link_factor,
+            pending_offline,
+            patrol_cursor,
+            offlined,
+            evac,
+            report,
+        })
+    }
+}
+
+impl RasState {
+    /// Serializes the whole health ladder for a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        for node in &self.nodes {
+            node.save(w);
+        }
+        w.put_u64(self.events);
+    }
+
+    /// Rebuilds the state machine from a checkpoint section, given the
+    /// active policy (not serialized — supplied by the restoring config).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        config: RasConfig,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<RasState, crate::checkpoint::CodecError> {
+        Ok(RasState {
+            config,
+            nodes: [NodeRas::restore(r)?, NodeRas::restore(r)?],
+            events: r.get_u64()?,
+        })
+    }
+}
+
 impl Default for RasState {
     fn default() -> RasState {
         RasState::new(RasConfig::default())

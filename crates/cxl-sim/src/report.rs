@@ -76,6 +76,36 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Serializes the histogram for a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64_slice(&self.counts);
+        w.put_u64(self.total);
+        w.put_u64(self.max.0);
+    }
+
+    /// Rebuilds a histogram from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors; rejects a bucket array of the wrong width.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<LatencyHistogram, crate::checkpoint::CodecError> {
+        let counts = r.get_u64_vec()?;
+        let expected = (64 - SUB_BITS as usize + 1) * SUB as usize;
+        if counts.len() != expected {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "latency-histogram bucket count",
+                value: counts.len() as u64,
+            });
+        }
+        Ok(LatencyHistogram {
+            counts,
+            total: r.get_u64()?,
+            max: Nanos(r.get_u64()?),
+        })
+    }
+
     /// The approximate `q`-quantile (`q` in `[0, 1]`), or `None` if empty.
     pub fn quantile(&self, q: f64) -> Option<Nanos> {
         if self.total == 0 {

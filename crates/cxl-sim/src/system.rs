@@ -454,6 +454,15 @@ impl System {
         &self.faults
     }
 
+    /// Consumes the next armed torn-checkpoint fault, if any, returning the
+    /// manifest section index at which the commit must be cut short. The
+    /// checkpointing harness calls this immediately before each commit and
+    /// switches to [`crate::checkpoint::Checkpoint::commit_torn`] when a
+    /// fault is armed.
+    pub fn take_torn_checkpoint(&mut self) -> Option<u64> {
+        self.faults.take_torn_checkpoint()
+    }
+
     /// Every fault armed so far, in arming order.
     pub fn fault_log(&self) -> &[FaultEvent] {
         self.faults.log()
@@ -2025,6 +2034,255 @@ impl System {
             },
         }
     }
+
+    /// Captures a crash-consistent snapshot of the whole machine as a
+    /// [`Checkpoint`]: memory partitions (free/allocated/quarantined/
+    /// offlined, in hand-out order), page table, TLB and LLC arrays with
+    /// their LRU order, migration journal, fault-injector arming state,
+    /// RAS health ladder, contention queues, perfmon windows, MGLRU
+    /// generations, kernel ledger, and the telemetry registry.
+    ///
+    /// The per-access telemetry batch is flushed first; counters and
+    /// histogram merges are exact, so flushing early is observationally
+    /// equivalent for every snapshot taken at or after the next flush
+    /// point. Attached [`CxlDevice`]s are *not* captured — the restoring
+    /// harness re-attaches its devices and reloads their SRAM state (the
+    /// M5 manager does this in its own checkpoint section). Open telemetry
+    /// spans are owned by their creators and re-opened after restore.
+    pub fn checkpoint(&mut self) -> crate::checkpoint::Checkpoint {
+        use crate::checkpoint::StateWriter;
+        self.flush_telemetry();
+        let mut cp = crate::checkpoint::Checkpoint::new();
+        let mut section = |name: &str, f: &mut dyn FnMut(&mut StateWriter)| {
+            let mut w = StateWriter::new();
+            f(&mut w);
+            cp.add_section(name, w.finish());
+        };
+        section("config", &mut |w| w.put_str(&format!("{:?}", self.config)));
+        section("clock", &mut |w| w.put_u64(self.clock.now().0));
+        section("memory", &mut |w| self.memory.save(w));
+        section("paging", &mut |w| self.page_table.save(w));
+        section("tlb", &mut |w| {
+            w.put_u8(match self.tlb.policy() {
+                crate::cache::ReplacementPolicy::ExactLru => 0,
+                crate::cache::ReplacementPolicy::TreeLru => 1,
+            });
+            self.tlb.save(w);
+        });
+        section("llc", &mut |w| {
+            w.put_u8(match self.llc.policy() {
+                crate::cache::ReplacementPolicy::ExactLru => 0,
+                crate::cache::ReplacementPolicy::TreeLru => 1,
+            });
+            self.llc.save(w);
+        });
+        section("perfmon", &mut |w| self.perfmon.save(w));
+        section("kernel", &mut |w| self.kernel.save(w));
+        section("mglru", &mut |w| self.ddr_lru.save(w));
+        section("journal", &mut |w| self.journal.save(w));
+        section("faults", &mut |w| self.faults.save(w));
+        section("ras", &mut |w| self.ras.save(w));
+        section("contention", &mut |w| self.contention.save(w));
+        section("telemetry", &mut |w| match self.telemetry.export_state() {
+            Some(state) => {
+                w.put_bool(true);
+                crate::checkpoint::save_telemetry_state(&state, w);
+            }
+            None => w.put_bool(false),
+        });
+        section("system", &mut |w| {
+            w.put_u64(self.migrations.promotions);
+            w.put_u64(self.migrations.demotions);
+            w.put_u64(self.migrations.rejected);
+            w.put_u64(self.hinting_faults);
+            w.put_u64(self.next_vpn);
+            w.put_u64_slice(&self.placement_rng.state());
+            w.put_u64(self.last_tlb_flush.0);
+            w.put_u64(self.degradations.len() as u64);
+            for d in &self.degradations {
+                w.put_str(d);
+            }
+            w.put_u64(self.promoter_retried);
+            w.put_u64(self.promoter_gave_up);
+            w.put_u64(self.fault_events_seen as u64);
+            w.put_bool(self.evac_exhaustion_noted);
+        });
+        cp
+    }
+
+    /// Rebuilds a machine from a [`Checkpoint`] captured by
+    /// [`System::checkpoint`]. `config` must be equal to the checkpointed
+    /// configuration (validated against the stored config section) and
+    /// `plan` must be the fault plan the checkpointed run was executing —
+    /// the plan is pure data the caller supplies again; only the
+    /// injector's arming cursor and armed-but-unconsumed faults are
+    /// restored from the snapshot.
+    ///
+    /// Devices are not restored: the returned system has a fresh
+    /// [`CxlController`] and the harness re-attaches daemon devices before
+    /// resuming. Fault-window telemetry spans restart as closed (a window
+    /// open across the snapshot re-opens on the next traced event).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::ConfigMismatch`] when `config` differs from the
+    /// checkpointed one, [`RestoreError::MissingSection`] /
+    /// [`RestoreError::Corrupt`] on structural damage a checksum did not
+    /// catch (e.g. a version-compatible but truncated section).
+    pub fn restore(
+        config: SystemConfig,
+        plan: &FaultPlan,
+        cp: &crate::checkpoint::Checkpoint,
+    ) -> Result<System, crate::checkpoint::RestoreError> {
+        use crate::checkpoint::{section_err, RestoreError, StateReader};
+
+        fn read_section<'c, T>(
+            cp: &'c crate::checkpoint::Checkpoint,
+            name: &'static str,
+            f: impl FnOnce(&mut StateReader<'c>) -> Result<T, crate::checkpoint::CodecError>,
+        ) -> Result<T, RestoreError> {
+            let mut r = StateReader::new(cp.require(name)?);
+            let out = f(&mut r).map_err(section_err(name))?;
+            r.expect_end().map_err(section_err(name))?;
+            Ok(out)
+        }
+
+        let stored = read_section(cp, "config", |r| r.get_str())?;
+        if stored != format!("{config:?}") {
+            return Err(RestoreError::ConfigMismatch);
+        }
+
+        fn policy_of(
+            tag: u8,
+        ) -> Result<crate::cache::ReplacementPolicy, crate::checkpoint::CodecError> {
+            match tag {
+                0 => Ok(crate::cache::ReplacementPolicy::ExactLru),
+                1 => Ok(crate::cache::ReplacementPolicy::TreeLru),
+                t => Err(crate::checkpoint::CodecError::BadValue {
+                    what: "replacement-policy tag",
+                    value: t as u64,
+                }),
+            }
+        }
+
+        let clock = read_section(cp, "clock", |r| Ok(Clock::at(Nanos(r.get_u64()?))))?;
+        let memory = read_section(cp, "memory", |r| {
+            TieredMemory::restore(config.ddr.clone(), config.cxl.clone(), r)
+        })?;
+        let page_table = read_section(cp, "paging", |r| PageTable::restore(r))?;
+        let tlb = read_section(cp, "tlb", |r| {
+            let policy = policy_of(r.get_u8()?)?;
+            Tlb::restore(config.tlb, policy, r)
+        })?;
+        let llc = read_section(cp, "llc", |r| {
+            let policy = policy_of(r.get_u8()?)?;
+            Llc::restore(config.llc, policy, r)
+        })?;
+        let perfmon = read_section(cp, "perfmon", |r| PerfMonitor::restore(r))?;
+        let kernel = read_section(cp, "kernel", |r| KernelCosts::restore(r))?;
+        let ddr_lru = read_section(cp, "mglru", |r| MgLru::restore(r))?;
+        let journal = read_section(cp, "journal", |r| MigrationJournal::restore(r))?;
+        let faults = read_section(cp, "faults", |r| FaultInjector::restore(plan, r))?;
+        let ras = read_section(cp, "ras", |r| RasState::restore(config.ras, r))?;
+        let contention = read_section(cp, "contention", |r| {
+            Contention::restore(
+                &config.contention,
+                [config.ddr.access_latency, config.cxl.access_latency],
+                r,
+            )
+        })?;
+        let telemetry = read_section(cp, "telemetry", |r| {
+            if r.get_bool()? {
+                let state = crate::checkpoint::restore_telemetry_state(r)?;
+                Ok(Telemetry::from_state(&state))
+            } else {
+                Ok(Telemetry::disabled())
+            }
+        })?;
+
+        struct Misc {
+            migrations: MigrationStats,
+            hinting_faults: u64,
+            next_vpn: u64,
+            rng_state: [u64; 4],
+            last_tlb_flush: Nanos,
+            degradations: Vec<String>,
+            promoter_retried: u64,
+            promoter_gave_up: u64,
+            fault_events_seen: u64,
+            evac_exhaustion_noted: bool,
+        }
+        let misc = read_section(cp, "system", |r| {
+            let migrations = MigrationStats {
+                promotions: r.get_u64()?,
+                demotions: r.get_u64()?,
+                rejected: r.get_u64()?,
+            };
+            let hinting_faults = r.get_u64()?;
+            let next_vpn = r.get_u64()?;
+            let rng_vec = r.get_u64_vec()?;
+            let rng_state: [u64; 4] = rng_vec.as_slice().try_into().map_err(|_| {
+                crate::checkpoint::CodecError::BadValue {
+                    what: "placement-rng state length",
+                    value: rng_vec.len() as u64,
+                }
+            })?;
+            let last_tlb_flush = Nanos(r.get_u64()?);
+            let nd = r.get_u64()?;
+            let mut degradations = Vec::new();
+            for _ in 0..nd {
+                degradations.push(r.get_str()?);
+            }
+            Ok(Misc {
+                migrations,
+                hinting_faults,
+                next_vpn,
+                rng_state,
+                last_tlb_flush,
+                degradations,
+                promoter_retried: r.get_u64()?,
+                promoter_gave_up: r.get_u64()?,
+                fault_events_seen: r.get_u64()?,
+                evac_exhaustion_noted: r.get_bool()?,
+            })
+        })?;
+
+        let telemetry_on = telemetry.is_enabled();
+        Ok(System {
+            clock,
+            memory,
+            page_table,
+            tlb,
+            llc,
+            controller: CxlController::new(),
+            perfmon,
+            kernel,
+            ddr_lru,
+            migrations: misc.migrations,
+            journal,
+            hinting_faults: misc.hinting_faults,
+            next_vpn: misc.next_vpn,
+            placement_rng: SmallRng::from_state(misc.rng_state),
+            last_tlb_flush: misc.last_tlb_flush,
+            faults,
+            degradations: misc.degradations,
+            promoter_retried: misc.promoter_retried,
+            promoter_gave_up: misc.promoter_gave_up,
+            telemetry,
+            telemetry_on,
+            contention,
+            contention_on: config.contention.enabled,
+            batch: TelemetryBatch::default(),
+            fault_events_seen: misc.fault_events_seen as usize,
+            spike_span: None,
+            stall_span: None,
+            pressure_span: None,
+            ras,
+            evac_span: None,
+            evac_exhaustion_noted: misc.evac_exhaustion_noted,
+            config,
+        })
+    }
 }
 
 /// What one [`System::ras_service`] epoch accomplished.
@@ -2072,6 +2330,79 @@ pub struct SystemStats {
     pub promoter_retried: u64,
     /// Cumulative pages the Promoter gave up on.
     pub promoter_gave_up: u64,
+}
+
+impl SystemStats {
+    /// Serializes the snapshot for a checkpoint (drivers persist their
+    /// report baseline so a restored run's [`RunReport`] deltas match the
+    /// uninterrupted run's).
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.now.0);
+        w.put_u64(self.llc_hits);
+        w.put_u64(self.llc_misses);
+        w.put_u64_slice(&self.dram_reads);
+        w.put_u64_slice(&self.dram_writebacks);
+        w.put_u64(self.hinting_faults);
+        self.kernel.save(w);
+        w.put_u64(self.migrations.promotions);
+        w.put_u64(self.migrations.demotions);
+        w.put_u64(self.migrations.rejected);
+        w.put_u64_slice(&self.fault_counts);
+        w.put_u64(self.poison_repairs);
+        w.put_u64(self.degradations as u64);
+        w.put_u64(self.promoter_retried);
+        w.put_u64(self.promoter_gave_up);
+    }
+
+    /// Rebuilds a snapshot from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload, or
+    /// per-node/per-class vectors of the wrong length.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<SystemStats, crate::checkpoint::CodecError> {
+        use crate::checkpoint::CodecError;
+        fn fixed<const N: usize>(v: Vec<u64>, what: &'static str) -> Result<[u64; N], CodecError> {
+            let n = v.len();
+            v.try_into().map_err(|_| CodecError::BadValue {
+                what,
+                value: n as u64,
+            })
+        }
+        let now = Nanos(r.get_u64()?);
+        let llc_hits = r.get_u64()?;
+        let llc_misses = r.get_u64()?;
+        let dram_reads = fixed::<2>(r.get_u64_vec()?, "stats dram-read vector length")?;
+        let dram_writebacks = fixed::<2>(r.get_u64_vec()?, "stats dram-writeback vector length")?;
+        let hinting_faults = r.get_u64()?;
+        let kernel = KernelCosts::restore(r)?;
+        let migrations = MigrationStats {
+            promotions: r.get_u64()?,
+            demotions: r.get_u64()?,
+            rejected: r.get_u64()?,
+        };
+        let fault_counts = fixed::<{ FaultClass::ALL.len() }>(
+            r.get_u64_vec()?,
+            "stats fault-count vector length",
+        )?;
+        Ok(SystemStats {
+            now,
+            llc_hits,
+            llc_misses,
+            dram_reads,
+            dram_writebacks,
+            hinting_faults,
+            kernel,
+            migrations,
+            fault_counts,
+            poison_repairs: r.get_u64()?,
+            degradations: r.get_u64()? as usize,
+            promoter_retried: r.get_u64()?,
+            promoter_gave_up: r.get_u64()?,
+        })
+    }
 }
 
 /// Why [`System::access_batch`] returned control to the driver.
@@ -2124,6 +2455,31 @@ impl BatchState {
         self.op_hist.record(op);
         self.op_telemetry.record(op.0);
         self.op_start = now;
+    }
+
+    /// Serializes the op-latency accumulators and access count for a
+    /// checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        self.op_hist.save(w);
+        crate::checkpoint::save_log2_histogram(&self.op_telemetry, w);
+        w.put_u64(self.op_start.0);
+        w.put_u64(self.n);
+    }
+
+    /// Rebuilds batch state from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn restore(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<BatchState, crate::checkpoint::CodecError> {
+        Ok(BatchState {
+            op_hist: LatencyHistogram::restore(r)?,
+            op_telemetry: crate::checkpoint::restore_log2_histogram(r)?,
+            op_start: Nanos(r.get_u64()?),
+            n: r.get_u64()?,
+        })
     }
 }
 
@@ -2193,6 +2549,31 @@ impl ChunkedRun {
             }
         }
         self.st.n < max_accesses
+    }
+
+    /// Serializes the run driver (report baseline + op-latency state) for
+    /// a checkpoint.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        self.before.save(w);
+        self.st.save(w);
+    }
+
+    /// Rebuilds a run driver from a checkpoint section. Unlike
+    /// [`ChunkedRun::begin`], this does *not* capture a fresh baseline or
+    /// call the daemon's `on_start` — the checkpointed run already did
+    /// both; the caller re-attaches daemon devices and reloads their state
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated or corrupt payload.
+    pub fn resume(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<ChunkedRun, crate::checkpoint::CodecError> {
+        Ok(ChunkedRun {
+            before: SystemStats::restore(r)?,
+            st: BatchState::restore(r)?,
+        })
     }
 
     /// Flushes telemetry and assembles the [`RunReport`].
@@ -2323,6 +2704,7 @@ where
 mod tests {
     use super::*;
     use crate::addr::PAGE_SIZE;
+    use crate::faults::FaultKind;
 
     fn small_system() -> System {
         System::new(SystemConfig::small())
@@ -2332,6 +2714,149 @@ mod tests {
     fn system_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<System>();
+    }
+
+    /// Deterministic exerciser used by the restore≡continue tests: mixes
+    /// reads, writes, and migrations over `region`, indexed so two calls
+    /// with the same range perform identical work.
+    fn exercise(sys: &mut System, region: &Region, lo: u64, hi: u64) {
+        let pages = region.pages;
+        for i in lo..hi {
+            let vpn = region.base.vpn().0 + (i * 7 + i / 3) % pages;
+            let addr = VirtAddr(vpn * PAGE_SIZE as u64 + (i % 64) * 8);
+            sys.access(addr, i % 3 == 0);
+            if i % 97 == 13 {
+                let _ = sys.migrate_page(Vpn(vpn), NodeId::Ddr);
+            }
+            if i % 131 == 40 {
+                let _ = sys.migrate_page(Vpn(vpn), NodeId::Cxl);
+            }
+        }
+    }
+
+    fn differential_restore_continue(plan: FaultPlan, telemetry: bool) {
+        let config = SystemConfig::small();
+        let place = Placement::Interleaved {
+            ddr_fraction: 0.5,
+            seed: 7,
+        };
+
+        // Uninterrupted reference run.
+        let mut a = System::with_fault_plan(config.clone(), &plan);
+        if telemetry {
+            a.install_telemetry(Telemetry::enabled());
+        }
+        let ra = a.alloc_region(32, place).unwrap();
+        exercise(&mut a, &ra, 0, 1200);
+
+        // Same run, checkpointed at an interior point and restored into a
+        // fresh machine.
+        let mut b = System::with_fault_plan(config.clone(), &plan);
+        if telemetry {
+            b.install_telemetry(Telemetry::enabled());
+        }
+        let rb = b.alloc_region(32, place).unwrap();
+        assert_eq!(ra, rb);
+        exercise(&mut b, &rb, 0, 700);
+        let cp = b.checkpoint();
+        drop(b);
+        let mut b2 = System::restore(config, &plan, &cp).unwrap();
+        assert!(b2.check_invariants().is_empty());
+        exercise(&mut b2, &rb, 700, 1200);
+
+        // The full machine state is byte-identical, not just the reports.
+        assert_eq!(a.checkpoint().encode(), b2.checkpoint().encode());
+        assert_eq!(format!("{:?}", a.stats()), format!("{:?}", b2.stats()));
+        assert_eq!(a.telemetry().snapshot(), b2.telemetry().snapshot());
+        assert!(a.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_continue_matches_uninterrupted_run() {
+        differential_restore_continue(FaultPlan::none(), false);
+    }
+
+    #[test]
+    fn checkpoint_restore_continue_matches_with_telemetry() {
+        differential_restore_continue(FaultPlan::none(), true);
+    }
+
+    #[test]
+    fn checkpoint_restore_continue_matches_under_faults() {
+        // A plan whose windows and consumables straddle the checkpoint
+        // instant: armed-but-unconsumed state must survive the round trip.
+        let plan = FaultPlan::none()
+            .with(
+                Nanos(2_000),
+                FaultKind::LatencySpike {
+                    extra: Nanos(400),
+                    duration: Nanos(4_000_000),
+                },
+            )
+            .with(Nanos(3_000), FaultKind::PoisonLine { reads: 2 })
+            .with(Nanos(4_000), FaultKind::MigrationCopyFail { attempts: 2 })
+            .with(
+                Nanos(5_000),
+                FaultKind::Device(DeviceFault::CorrectableEcc { pfn: 3 }),
+            );
+        differential_restore_continue(plan, false);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut sys = System::new(SystemConfig::small());
+        let r = sys.alloc_region(4, Placement::AllOnDdr).unwrap();
+        exercise(&mut sys, &r, 0, 50);
+        let cp = sys.checkpoint();
+        let mut other = SystemConfig::small();
+        other.colocated_daemon = !other.colocated_daemon;
+        let err = System::restore(other, &FaultPlan::none(), &cp).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::checkpoint::RestoreError::ConfigMismatch
+        ));
+    }
+
+    #[test]
+    fn restore_reports_missing_and_corrupt_sections() {
+        let mut sys = System::new(SystemConfig::small());
+        let r = sys.alloc_region(4, Placement::AllOnDdr).unwrap();
+        exercise(&mut sys, &r, 0, 50);
+        let cp = sys.checkpoint();
+
+        // A checkpoint with a section dropped restores with a named error.
+        let mut partial = crate::checkpoint::Checkpoint::new();
+        for name in cp.section_names() {
+            if name != "journal" {
+                partial.add_section(name, cp.section(name).unwrap().to_vec());
+            }
+        }
+        let err = System::restore(SystemConfig::small(), &FaultPlan::none(), &partial).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::checkpoint::RestoreError::MissingSection { section: "journal" }
+        ));
+
+        // A truncated section payload is Corrupt, attributed to its section.
+        let mut truncated = crate::checkpoint::Checkpoint::new();
+        for name in cp.section_names() {
+            let bytes = cp.section(name).unwrap();
+            let keep = if name == "paging" {
+                &bytes[..bytes.len() / 2]
+            } else {
+                bytes
+            };
+            truncated.add_section(name, keep.to_vec());
+        }
+        let err =
+            System::restore(SystemConfig::small(), &FaultPlan::none(), &truncated).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::checkpoint::RestoreError::Corrupt {
+                section: "paging",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -141,6 +141,11 @@ impl Clock {
     pub fn advance(&mut self, d: Nanos) {
         self.now += d;
     }
+
+    /// A clock restored to a checkpointed instant.
+    pub fn at(now: Nanos) -> Clock {
+        Clock { now }
+    }
 }
 
 #[cfg(test)]

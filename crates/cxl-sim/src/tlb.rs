@@ -125,6 +125,51 @@ impl Tlb {
         self.policy
     }
 
+    /// Serializes the entry array (LRU order included), pseudo-LRU trees,
+    /// and hit/miss/invalidation counters for a checkpoint. Geometry and
+    /// policy are rebuilt from configuration on restore.
+    pub fn save(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64_slice(&self.entries);
+        w.put_u64_slice(&self.plru);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.invalidations);
+    }
+
+    /// Rebuilds a TLB from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors; rejects arrays that do not match the
+    /// geometry implied by `config`/`policy`.
+    pub fn restore(
+        config: TlbConfig,
+        policy: ReplacementPolicy,
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Tlb, crate::checkpoint::CodecError> {
+        let mut tlb = Tlb::with_policy(config, policy);
+        let entries = r.get_u64_vec()?;
+        if entries.len() != tlb.entries.len() {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "tlb entry count",
+                value: entries.len() as u64,
+            });
+        }
+        let plru = r.get_u64_vec()?;
+        if plru.len() != tlb.plru.len() {
+            return Err(crate::checkpoint::CodecError::BadValue {
+                what: "tlb plru tree count",
+                value: plru.len() as u64,
+            });
+        }
+        tlb.entries = entries;
+        tlb.plru = plru;
+        tlb.hits = r.get_u64()?;
+        tlb.misses = r.get_u64()?;
+        tlb.invalidations = r.get_u64()?;
+        Ok(tlb)
+    }
+
     #[inline]
     fn set_index(&self, vpn: Vpn) -> usize {
         if self.set_mask != 0 {

@@ -12,14 +12,39 @@
 //!   squeeze campaign keeps its own budget: it must outlive the
 //!   evacuation deadline).
 //! * `--out PATH` — also write the artifact to `PATH`.
+//! * `--resume DIR` — checkpoint each campaign into `DIR/<name>.ckpt`
+//!   periodically and resume any campaign whose checkpoint survives from
+//!   a previous (killed) invocation instead of restarting it.
+//! * `--checkpoint-every N` — accesses between checkpoints in resume
+//!   mode (default 100000).
 
 use m5_bench::soak::{
-    all_failures, artifact, default_campaigns, soak_parallel, SoakScenario, SoakSpec,
+    all_failures, artifact, default_campaigns, run_campaign_resumable, soak_parallel,
+    CampaignReport, SoakScenario, SoakSpec,
 };
+use std::path::PathBuf;
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
     let i = args.iter().position(|a| a == flag)?;
     args.get(i + 1).and_then(|s| s.parse().ok())
+}
+
+fn flag_str(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1).cloned()
+}
+
+/// Resume-mode driver: sequential (each campaign owns one checkpoint
+/// file; a resumed run must see the file its predecessor left).
+fn soak_resumable(specs: &[SoakSpec], dir: &PathBuf, every: u64) -> Vec<CampaignReport> {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    specs
+        .iter()
+        .map(|s| run_campaign_resumable(*s, &dir.join(format!("{}.ckpt", s.name())), every))
+        .collect()
 }
 
 fn main() {
@@ -46,7 +71,13 @@ fn main() {
         }
     }
 
-    let reports = soak_parallel(&specs);
+    let reports = match flag_str(&args, "--resume") {
+        Some(dir) => {
+            let every = flag_value(&args, "--checkpoint-every").unwrap_or(100_000);
+            soak_resumable(&specs, &PathBuf::from(dir), every)
+        }
+        None => soak_parallel(&specs),
+    };
     let text = artifact(&reports);
     print!("{text}");
     if let Some(i) = args.iter().position(|a| a == "--out") {

@@ -19,6 +19,7 @@ use crate::pipeline::run_overlapped;
 use cxl_sim::faults::{FaultKind, FaultPlan};
 use cxl_sim::journal::RecoveryReport;
 use cxl_sim::prelude::*;
+use cxl_sim::system::ChunkedRun;
 use m5_core::manager::{M5Config, M5Manager};
 use m5_workloads::registry::Benchmark;
 
@@ -127,6 +128,95 @@ pub fn baseline(s: &SweepSpec) -> SweepRun {
 pub fn run_with_reset(s: &SweepSpec, at_step: u64) -> SweepRun {
     let plan = FaultPlan::none().with(Nanos::ZERO, FaultKind::ControllerReset { at_step });
     run_spec(s, &plan, Some(at_step))
+}
+
+/// A fault-free mid-run snapshot the sweep seeds each point from — the
+/// perturbed run is identical to the baseline up to the reset, so points
+/// striking after the snapshot's journal step need not replay the common
+/// prefix.
+#[derive(Clone)]
+pub struct SweepSeed {
+    /// Encoded run checkpoint (system + manager + driver + workload cursor).
+    bytes: Vec<u8>,
+    /// The machine configuration the snapshot was taken under.
+    config: SystemConfig,
+    /// The region base the workload trace was bound to.
+    base: cxl_sim::addr::VirtAddr,
+    /// Journal steps performed by the snapshot point. Sweep points at or
+    /// below this step struck inside the prefix; seed only the tail.
+    pub steps: u64,
+    /// Accesses executed by the snapshot point.
+    pub accesses: u64,
+}
+
+/// Runs `s` fault-free to `at_accesses` with the sequential chunked
+/// driver (byte-identical to the overlapped one) and captures the seed
+/// snapshot.
+pub fn seed_checkpoint(s: &SweepSpec, at_accesses: u64) -> SweepSeed {
+    use crate::checkpoint as ck;
+    let spec = s.benchmark.spec();
+    let (mut sys, region) = if s.contended {
+        crate::standard_contended_system(&spec, SWEEP_BACKGROUND)
+    } else {
+        crate::standard_system(&spec)
+    };
+    let mut wl = spec.build(region.base, s.accesses, s.seed);
+    let mut m5 = M5Manager::new(M5Config::default());
+    let mut run = ChunkedRun::begin(&mut sys, &mut m5);
+    ck::drive_to(
+        &mut sys,
+        &mut m5,
+        &mut run,
+        &mut wl,
+        at_accesses.min(s.accesses),
+    );
+    let cp = ck::capture(&mut sys, &m5, &run, &wl);
+    SweepSeed {
+        bytes: cp.encode(),
+        config: sys.config().clone(),
+        base: region.base,
+        steps: sys.journal().steps(),
+        accesses: run.accesses(),
+    }
+}
+
+/// Runs one sweep point from the seed: restore the snapshot under a plan
+/// that arms a controller reset at journal step `at_step`, then run only
+/// the tail. `at_step` should be greater than `seed.steps` — earlier
+/// steps already happened inside the snapshotted prefix and the reset
+/// would instead strike the first append after restore.
+pub fn run_with_reset_from_seed(s: &SweepSpec, seed: &SweepSeed, at_step: u64) -> SweepRun {
+    use crate::checkpoint as ck;
+    let plan = FaultPlan::none().with(Nanos::ZERO, FaultKind::ControllerReset { at_step });
+    let cp = cxl_sim::checkpoint::Checkpoint::decode(&seed.bytes)
+        .expect("seed snapshot was encoded by capture and never left memory");
+    let spec = s.benchmark.spec();
+    let mut wl = spec.build(seed.base, s.accesses, s.seed);
+    let resumed = ck::resume(
+        &cp,
+        seed.config.clone(),
+        &plan,
+        M5Config::default(),
+        &mut wl,
+    )
+    .expect("seed snapshot restores under its own config");
+    let ck::ResumedRun {
+        mut sys,
+        mut m5,
+        mut run,
+    } = resumed;
+    ck::drive_to(&mut sys, &mut m5, &mut run, &mut wl, s.accesses);
+    let report = run.finish(&mut sys, &m5);
+    let final_recovery = sys.needs_recovery().then(|| sys.recover());
+    SweepRun {
+        at_step: Some(at_step),
+        accesses: report.accesses,
+        steps: sys.journal().steps(),
+        committed: sys.journal().counters().committed(),
+        fired: !sys.reset_pending(),
+        final_recovery,
+        violations: sys.check_invariants(),
+    }
 }
 
 #[cfg(test)]

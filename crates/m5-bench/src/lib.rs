@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod crash_sweep;
 pub mod golden;
 pub mod loaded;

@@ -174,6 +174,35 @@ impl AccessStream for SkewedStream {
     }
 }
 
+impl crate::checkpoint::StreamCheckpoint for SkewedStream {
+    // pages/hot are campaign constants the restoring side rebuilds; the
+    // region base, RNG position, and remaining budget are cursor state
+    // (the base so a resuming stream needs no region handle of its own).
+    fn save_cursor(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        w.put_u64(self.base.0);
+        w.put_u64_slice(&self.rng.state());
+        w.put_u64(self.remaining);
+    }
+
+    fn load_cursor(
+        &mut self,
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<(), cxl_sim::checkpoint::CodecError> {
+        self.base = VirtAddr(r.get_u64()?);
+        let raw = r.get_u64_vec()?;
+        let state: [u64; 4] =
+            raw.as_slice()
+                .try_into()
+                .map_err(|_| cxl_sim::checkpoint::CodecError::BadValue {
+                    what: "soak rng state length",
+                    value: raw.len() as u64,
+                })?;
+        self.rng = SmallRng::from_state(state);
+        self.remaining = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// Everything observable about one finished campaign.
 #[derive(Clone, Debug)]
 pub struct CampaignReport {
@@ -203,32 +232,38 @@ pub struct CampaignReport {
     pub violations: Vec<String>,
 }
 
-/// Runs one campaign to completion and audits the end state.
-pub fn run_campaign(spec: SoakSpec) -> CampaignReport {
-    let plan = spec.plan();
-    let config = SystemConfig::small()
+/// The campaign machine configuration for `spec`.
+fn campaign_config(spec: &SoakSpec) -> SystemConfig {
+    SystemConfig::small()
         .with_cxl_frames(SOAK_CXL_FRAMES)
         .with_ddr_frames(spec.ddr_frames)
         .with_ras(RasConfig {
             evac_deadline: spec.evac_deadline(),
             ..RasConfig::default()
-        });
-    let mut sys = System::with_fault_plan(config, &plan);
-    let region = sys
-        .alloc_region(SOAK_PAGES, Placement::AllOnCxl)
-        .expect("CXL sized to fit the soak region");
-    let mut wl = SkewedStream {
-        base: region.base,
+        })
+}
+
+/// The campaign demand stream bound to `base`.
+fn campaign_stream(spec: &SoakSpec, base: VirtAddr) -> SkewedStream {
+    SkewedStream {
+        base,
         pages: SOAK_PAGES,
         hot: SOAK_HOT,
         rng: SmallRng::seed_from_u64(spec.seed ^ 0x50a1),
         remaining: spec.accesses,
-    };
-    let mut m5 = M5Manager::new(M5Config {
+    }
+}
+
+/// The campaign manager configuration.
+fn campaign_m5_config() -> M5Config {
+    M5Config {
         promote_batch: SOAK_DRAIN_BUDGET,
         ..M5Config::default()
-    });
-    let report = run_overlapped(&mut sys, &mut wl, &mut m5, spec.accesses);
+    }
+}
+
+/// Judges a finished campaign run against the end state of its machine.
+fn audit(spec: &SoakSpec, sys: &mut System, m5: &M5Manager, report: &RunReport) -> CampaignReport {
     // A controller reset striking after the manager's last epoch leaves
     // the engine fenced; replay the journal before auditing invariants
     // (mirrors the crash-sweep harness).
@@ -249,6 +284,100 @@ pub fn run_campaign(spec: SoakSpec) -> CampaignReport {
         degraded: report.health.degraded.clone(),
         violations: sys.check_invariants(),
     }
+}
+
+/// Runs one campaign to completion and audits the end state.
+pub fn run_campaign(spec: SoakSpec) -> CampaignReport {
+    let plan = spec.plan();
+    let mut sys = System::with_fault_plan(campaign_config(&spec), &plan);
+    let region = sys
+        .alloc_region(SOAK_PAGES, Placement::AllOnCxl)
+        .expect("CXL sized to fit the soak region");
+    let mut wl = campaign_stream(&spec, region.base);
+    let mut m5 = M5Manager::new(campaign_m5_config());
+    let report = run_overlapped(&mut sys, &mut wl, &mut m5, spec.accesses);
+    audit(&spec, &mut sys, &m5, &report)
+}
+
+/// Runs a fresh campaign to `upto` accesses with the sequential chunked
+/// driver and commits a run checkpoint at that point — the "process was
+/// killed mid-campaign" setup for [`run_campaign_resumable`].
+pub fn checkpoint_campaign(spec: SoakSpec, ckpt: &std::path::Path, upto: u64) {
+    use crate::checkpoint as ck;
+    let plan = spec.plan();
+    let mut sys = System::with_fault_plan(campaign_config(&spec), &plan);
+    let region = sys
+        .alloc_region(SOAK_PAGES, Placement::AllOnCxl)
+        .expect("CXL sized to fit the soak region");
+    let mut wl = campaign_stream(&spec, region.base);
+    let mut m5 = M5Manager::new(campaign_m5_config());
+    let mut run = cxl_sim::system::ChunkedRun::begin(&mut sys, &mut m5);
+    ck::drive_to(
+        &mut sys,
+        &mut m5,
+        &mut run,
+        &mut wl,
+        upto.min(spec.accesses),
+    );
+    let cp = ck::capture(&mut sys, &m5, &run, &wl);
+    ck::commit(&mut sys, &cp, ckpt).expect("campaign checkpoint io");
+}
+
+/// Runs one campaign with the sequential chunked driver, committing a
+/// run checkpoint to `ckpt` every `every` accesses. When `ckpt` already
+/// holds a valid image (possibly via its `.prev` fallback) the campaign
+/// resumes from it instead of starting over — the engine behind
+/// `soak --resume`. The chunked driver is byte-identical to the
+/// overlapped one, so an uninterrupted resumable campaign reports exactly
+/// what [`run_campaign`] does.
+pub fn run_campaign_resumable(
+    spec: SoakSpec,
+    ckpt: &std::path::Path,
+    every: u64,
+) -> CampaignReport {
+    use crate::checkpoint as ck;
+    let plan = spec.plan();
+    let config = campaign_config(&spec);
+    let resumed = cxl_sim::checkpoint::Checkpoint::load(ckpt)
+        .ok()
+        .and_then(|loaded| {
+            // Placeholder base/cursor: load_cursor rebinds both.
+            let mut wl = campaign_stream(&spec, VirtAddr(0));
+            ck::resume(
+                &loaded.checkpoint,
+                config.clone(),
+                &plan,
+                campaign_m5_config(),
+                &mut wl,
+            )
+            .ok()
+            .map(|r| (r.sys, r.m5, r.run, wl))
+        });
+    let (mut sys, mut m5, mut run, mut wl) = match resumed {
+        Some(parts) => parts,
+        None => {
+            let mut sys = System::with_fault_plan(config, &plan);
+            let region = sys
+                .alloc_region(SOAK_PAGES, Placement::AllOnCxl)
+                .expect("CXL sized to fit the soak region");
+            let wl = campaign_stream(&spec, region.base);
+            let mut m5 = M5Manager::new(campaign_m5_config());
+            let run = cxl_sim::system::ChunkedRun::begin(&mut sys, &mut m5);
+            (sys, m5, run, wl)
+        }
+    };
+    ck::drive_with_checkpoints(
+        &mut sys,
+        &mut m5,
+        &mut run,
+        &mut wl,
+        spec.accesses,
+        every,
+        ckpt,
+    )
+    .expect("campaign checkpoint io");
+    let report = run.finish(&mut sys, &m5);
+    audit(&spec, &mut sys, &m5, &report)
 }
 
 impl CampaignReport {

@@ -126,6 +126,36 @@ impl HotWordTracker {
     pub fn algo_name(&self) -> &'static str {
         self.tracker.name()
     }
+
+    /// Serializes the device's dynamic state (tracker SRAM plus the fault
+    /// flags) for a checkpoint; see [`crate::hpt::HotPageTracker::save`].
+    pub fn save(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        self.tracker.save(w);
+        w.put_u64(self.observed);
+        w.put_u64(self.queries);
+        w.put_bool(self.dead);
+        w.put_bool(self.saturated);
+        w.put_u64(self.flip_mask);
+    }
+
+    /// Loads checkpointed state into a freshly constructed device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated payload or a tracker state
+    /// that fails geometry validation.
+    pub fn load(
+        &mut self,
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<(), cxl_sim::checkpoint::CodecError> {
+        self.tracker.load(r)?;
+        self.observed = r.get_u64()?;
+        self.queries = r.get_u64()?;
+        self.dead = r.get_bool()?;
+        self.saturated = r.get_bool()?;
+        self.flip_mask = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl CxlDevice for HotWordTracker {

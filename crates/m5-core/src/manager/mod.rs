@@ -180,6 +180,11 @@ pub struct M5Manager {
     fallback: bool,
     hpt_strikes: u8,
     hwt_strikes: u8,
+    /// The previous epoch's CXL congestion factor (loaded/unloaded
+    /// latency). The RAS evacuation drain runs *before* this epoch's
+    /// Monitor sample, so it is shaped by the last sample instead — one
+    /// epoch of lag, against a signal that builds over many epochs.
+    last_congestion: f64,
 }
 
 impl M5Manager {
@@ -214,6 +219,7 @@ impl M5Manager {
             fallback: false,
             hpt_strikes: 0,
             hwt_strikes: 0,
+            last_congestion: 1.0,
             config,
         })
     }
@@ -260,6 +266,130 @@ impl M5Manager {
     /// waits behind more than one bounded drain per epoch.
     pub fn ras_drain_epochs(&self) -> u64 {
         self.ras_drain_epochs
+    }
+
+    /// Serializes the manager for a checkpoint: component state, epoch
+    /// counters, the hot-page log, and the attached trackers' SRAM
+    /// contents. The `System` checkpoint deliberately excludes devices
+    /// (they belong to whoever attached them), so the manager section
+    /// carries them. Pair with [`M5Manager::restore`].
+    pub fn save(&self, sys: &System, w: &mut cxl_sim::checkpoint::StateWriter) {
+        w.put_str(&format!("{:?}", self.config));
+        self.monitor.save(w);
+        self.nominator.save(w);
+        self.elector.save(w);
+        self.promoter.save(w);
+        match self.wake {
+            Some(n) => {
+                w.put_bool(true);
+                w.put_u64(n.0);
+            }
+            None => w.put_bool(false),
+        }
+        self.log.save(w);
+        w.put_u64(self.epochs);
+        w.put_u64(self.migrate_epochs);
+        w.put_u64(self.ras_drain_epochs);
+        w.put_str(&self.name);
+        w.put_bool(self.fallback);
+        w.put_u8(self.hpt_strikes);
+        w.put_u8(self.hwt_strikes);
+        w.put_f64(self.last_congestion);
+        match self.hpt.and_then(|h| sys.device::<HotPageTracker>(h)) {
+            Some(d) => {
+                w.put_bool(true);
+                d.save(w);
+            }
+            None => w.put_bool(false),
+        }
+        match self.hwt.and_then(|h| sys.device::<HotWordTracker>(h)) {
+            Some(d) => {
+                w.put_bool(true);
+                d.save(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Rebuilds a manager from a checkpoint section, re-attaching fresh
+    /// tracker devices to `sys` (which must itself have been restored from
+    /// the matching checkpoint — its device table starts empty) and
+    /// reloading their SRAM contents. `on_start` must NOT be called on the
+    /// returned manager: the checkpointed run already started, and the
+    /// restored `wake` deadline continues its epoch schedule. Drive it with
+    /// [`cxl_sim::system::ChunkedRun::resume`] or a manual wakeup loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cxl_sim::checkpoint::CodecError`] when `config` differs
+    /// from the checkpointed one, fails validation, or the payload is
+    /// truncated or internally inconsistent.
+    pub fn restore(
+        config: M5Config,
+        sys: &mut System,
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<M5Manager, cxl_sim::checkpoint::CodecError> {
+        use cxl_sim::checkpoint::CodecError;
+        let saved = r.get_str()?;
+        if saved != format!("{config:?}") {
+            return Err(CodecError::BadValue {
+                what: "m5 config mismatch",
+                value: saved.len() as u64,
+            });
+        }
+        let mut m = M5Manager::try_new(config).map_err(|_| CodecError::BadValue {
+            what: "m5 config invalid",
+            value: 0,
+        })?;
+        m.monitor = Monitor::restore(r)?;
+        m.nominator = Nominator::restore(r)?;
+        m.elector = Elector::restore(config.elector, r)?;
+        m.promoter = Promoter::restore(config.promoter, r)?;
+        m.wake = if r.get_bool()? {
+            Some(Nanos(r.get_u64()?))
+        } else {
+            None
+        };
+        m.log = HotPageLog::restore(r)?;
+        m.epochs = r.get_u64()?;
+        m.migrate_epochs = r.get_u64()?;
+        m.ras_drain_epochs = r.get_u64()?;
+        m.name = r.get_str()?;
+        m.fallback = r.get_bool()?;
+        m.hpt_strikes = r.get_u8()?;
+        m.hwt_strikes = r.get_u8()?;
+        m.last_congestion = r.get_f64()?;
+        if let Some(cfg) = config.hpt {
+            m.hpt = Some(sys.attach_device(HotPageTracker::new(cfg)));
+        }
+        if r.get_bool()? {
+            let h = m.hpt.ok_or(CodecError::BadValue {
+                what: "hpt state without an hpt config",
+                value: 0,
+            })?;
+            sys.device_mut::<HotPageTracker>(h)
+                .ok_or(CodecError::BadValue {
+                    what: "hpt device lookup",
+                    value: 0,
+                })?
+                .load(r)?;
+        }
+        if let Some(cfg) = config.hwt {
+            m.hwt = Some(sys.attach_device(HotWordTracker::new(cfg)));
+        }
+        if r.get_bool()? {
+            let h = m.hwt.ok_or(CodecError::BadValue {
+                what: "hwt state without an hwt config",
+                value: 0,
+            })?;
+            sys.device_mut::<HotWordTracker>(h)
+                .ok_or(CodecError::BadValue {
+                    what: "hwt device lookup",
+                    value: 0,
+                })?
+                .load(r)?;
+        }
+        Ok(m)
     }
 
     fn query_trackers(&mut self, sys: &mut System) -> TrackerOutput {
@@ -435,13 +565,23 @@ impl MigrationDaemon for M5Manager {
         // frames, and — while the CXL node is evacuating — drain a bounded
         // batch of pages to the survivor. The drain reuses the epoch's
         // promotion budget: promoting pages *toward* a dying tier is
-        // pointless, so the budget reverses direction instead.
-        let ras = sys.ras_service(self.config.promote_batch as u64);
+        // pointless, so the budget reverses direction instead. Drain copies
+        // ride the same congested link as demand traffic, so the previous
+        // epoch's congestion sample halves the drain budget past the knee,
+        // exactly as the backoff below halves the promotion batch.
+        let mut drain_budget = self.config.promote_batch as u64;
+        if self.last_congestion >= self.config.congestion_knee {
+            drain_budget = (drain_budget / 2).max(1);
+            sys.telemetry_mut()
+                .counter_add("m5.congestion", "drain-backoff", 1);
+        }
+        let ras = sys.ras_service(drain_budget);
         if ras.pages_drained > 0 {
             self.ras_drain_epochs += 1;
         }
         let evacuating = sys.ras().health(NodeId::Cxl) >= cxl_sim::ras::NodeHealth::Evacuating;
         let stats = self.monitor.sample(sys);
+        self.last_congestion = stats.congestion(NodeId::Cxl);
         // Congestion backoff: page copies ride the same CXL link as demand
         // traffic, so when the Monitor sees the loaded latency past the
         // knee, halve this epoch's promotion batch rather than pile more
@@ -860,6 +1000,180 @@ mod tests {
                 assert_eq!(backoffs, 0, "fixed-cost path must never back off");
             }
         }
+    }
+
+    #[test]
+    fn evacuation_drain_budget_is_shaped_by_congestion() {
+        // ROADMAP item 4: the congestion backoff must shape the RAS
+        // evacuation drain budget too, not just the promotion batch. The
+        // drain runs before the epoch's Monitor sample, so the shaping uses
+        // the previous epoch's congestion — a saturated link records
+        // drain-backoff epochs from the second epoch on, and the identical
+        // uncontended run records none.
+        for expect_backoff in [true, false] {
+            let contention = if expect_backoff {
+                ContentionConfig::enabled_default().with_cxl_background(0.95)
+            } else {
+                ContentionConfig::disabled()
+            };
+            let mut sys = System::new(
+                SystemConfig::small()
+                    .with_cxl_frames(1024)
+                    .with_ddr_frames(256)
+                    .with_contention(contention),
+            );
+            sys.install_telemetry(Telemetry::enabled());
+            let region = sys.alloc_region(512, Placement::AllOnCxl).unwrap();
+            let mut wl = SkewedStream {
+                base: region.base,
+                pages: 512,
+                hot: 16,
+                rng: SmallRng::seed_from_u64(3),
+                remaining: 100_000,
+            };
+            let mut m5 = M5Manager::new(M5Config::default());
+            let _ = run(&mut sys, &mut wl, &mut m5, u64::MAX);
+            let backoffs = sys
+                .telemetry()
+                .snapshot()
+                .counter("m5.congestion", "drain-backoff")
+                .unwrap_or(0);
+            if expect_backoff {
+                assert!(backoffs > 0, "saturated link must shape the drain");
+                assert!(
+                    backoffs < m5.epochs(),
+                    "first epoch has no congestion sample yet"
+                );
+            } else {
+                assert_eq!(backoffs, 0, "fixed-cost path must never shape");
+            }
+        }
+    }
+
+    fn drive(
+        sys: &mut System,
+        m5: &mut M5Manager,
+        run: &mut cxl_sim::system::ChunkedRun,
+        wl: &mut SkewedStream,
+        target: u64,
+    ) {
+        let mut chunk = cxl_sim::chunk::AccessChunk::with_capacity(512);
+        while run.accesses() < target {
+            chunk.clear();
+            let left = (target - run.accesses()).min(512) as usize;
+            chunk.set_limit(left);
+            if wl.fill_chunk(&mut chunk) == 0 {
+                break;
+            }
+            run.drive(sys, m5, &chunk, target);
+        }
+    }
+
+    fn checkpoint_all(
+        sys: &mut System,
+        m5: &M5Manager,
+        run: &cxl_sim::system::ChunkedRun,
+    ) -> cxl_sim::checkpoint::Checkpoint {
+        let mut cp = sys.checkpoint();
+        let mut w = cxl_sim::checkpoint::StateWriter::new();
+        m5.save(sys, &mut w);
+        cp.add_section("m5", w.finish());
+        let mut w = cxl_sim::checkpoint::StateWriter::new();
+        run.save(&mut w);
+        cp.add_section("run", w.finish());
+        cp
+    }
+
+    #[test]
+    fn manager_restore_continues_identically() {
+        use cxl_sim::checkpoint::{Checkpoint, StateReader};
+        use cxl_sim::faults::FaultPlan;
+        use cxl_sim::system::ChunkedRun;
+        let make_config = || {
+            SystemConfig::small()
+                .with_cxl_frames(1024)
+                .with_ddr_frames(256)
+        };
+        let make_wl = |base: VirtAddr| SkewedStream {
+            base,
+            pages: 512,
+            hot: 16,
+            rng: SmallRng::seed_from_u64(3),
+            remaining: 120_000,
+        };
+        let m5cfg = M5Config::default();
+        let plan = FaultPlan::none();
+
+        // A: the uninterrupted reference run.
+        let mut sys_a = System::new(make_config());
+        let region = sys_a.alloc_region(512, Placement::AllOnCxl).unwrap();
+        let mut wl_a = make_wl(region.base);
+        let mut m5_a = M5Manager::new(m5cfg);
+        let mut run_a = ChunkedRun::begin(&mut sys_a, &mut m5_a);
+        drive(&mut sys_a, &mut m5_a, &mut run_a, &mut wl_a, 120_000);
+        let cp_a = checkpoint_all(&mut sys_a, &m5_a, &run_a);
+
+        // B: same run, checkpointed at the midpoint and restored into an
+        // entirely fresh System + manager + run driver.
+        let mut sys_b = System::new(make_config());
+        let region_b = sys_b.alloc_region(512, Placement::AllOnCxl).unwrap();
+        let mut wl_b = make_wl(region_b.base);
+        let mut m5_b = M5Manager::new(m5cfg);
+        let mut run_b = ChunkedRun::begin(&mut sys_b, &mut m5_b);
+        drive(&mut sys_b, &mut m5_b, &mut run_b, &mut wl_b, 60_000);
+        let mid = checkpoint_all(&mut sys_b, &m5_b, &run_b);
+        drop((sys_b, m5_b, run_b));
+
+        let mid = Checkpoint::decode(&mid.encode()).unwrap();
+        let mut sys_b2 = System::restore(make_config(), &plan, &mid).unwrap();
+        let mut r = StateReader::new(mid.section("m5").unwrap());
+        let mut m5_b2 = M5Manager::restore(m5cfg, &mut sys_b2, &mut r).unwrap();
+        r.expect_end().unwrap();
+        let mut r = StateReader::new(mid.section("run").unwrap());
+        let mut run_b2 = ChunkedRun::resume(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(run_b2.accesses(), 60_000);
+
+        drive(&mut sys_b2, &mut m5_b2, &mut run_b2, &mut wl_b, 120_000);
+        let cp_b = checkpoint_all(&mut sys_b2, &m5_b2, &run_b2);
+
+        // The full serialized state — system, manager, tracker SRAM, run
+        // driver — must be byte-identical to the uninterrupted run's.
+        assert_eq!(cp_a.encode(), cp_b.encode());
+        assert!(sys_b2.check_invariants().is_empty());
+        assert_eq!(m5_a.epochs(), m5_b2.epochs());
+        assert_eq!(m5_a.promoter_stats(), m5_b2.promoter_stats());
+        let report_a = run_a.finish(&mut sys_a, &m5_a);
+        let report_b = run_b2.finish(&mut sys_b2, &m5_b2);
+        assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+        assert!(report_a.migrations.promotions > 0, "the run did real work");
+    }
+
+    #[test]
+    fn manager_restore_rejects_config_and_mode_skew() {
+        use cxl_sim::checkpoint::{StateReader, StateWriter};
+        let (mut sys, _wl, m5) = setup(M5Config::default());
+        let mut w = StateWriter::new();
+        m5.save(&sys, &mut w);
+        let buf = w.finish();
+        // A different promote batch is a different manager: rejected.
+        let skewed = M5Config {
+            promote_batch: 16,
+            ..M5Config::default()
+        };
+        let mut r = StateReader::new(&buf);
+        assert!(M5Manager::restore(skewed, &mut sys, &mut r).is_err());
+        // The matching config restores cleanly.
+        let mut sys2 = System::new(
+            SystemConfig::small()
+                .with_cxl_frames(1024)
+                .with_ddr_frames(256),
+        );
+        let mut r = StateReader::new(&buf);
+        let m5b = M5Manager::restore(M5Config::default(), &mut sys2, &mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(m5b.name(), m5.name());
+        assert_eq!(m5b.epochs(), m5.epochs());
     }
 
     #[test]

@@ -149,6 +149,24 @@ impl Monitor {
     pub fn samples(&self) -> u64 {
         self.samples
     }
+
+    /// Serializes the monitor (its sample count) for a checkpoint.
+    pub fn save(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        w.put_u64(self.samples);
+    }
+
+    /// Rebuilds a monitor from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated payload.
+    pub fn restore(
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<Monitor, cxl_sim::checkpoint::CodecError> {
+        Ok(Monitor {
+            samples: r.get_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

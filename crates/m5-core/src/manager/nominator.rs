@@ -160,6 +160,75 @@ impl Nominator {
         self.hwa_acc.remove(&pfn);
     }
 
+    /// Serializes the nominator — mode tag, the current `_HPA` contents,
+    /// and the persistent HWT-driven accumulation (sorted by PFN so the
+    /// encoding is deterministic regardless of hash-map iteration order) —
+    /// for a checkpoint.
+    pub fn save(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        w.put_u8(match self.mode {
+            NominatorMode::HptOnly => 0,
+            NominatorMode::HptDriven => 1,
+            NominatorMode::HwtDriven => 2,
+        });
+        w.put_u64(self.hpa.len() as u64);
+        for e in &self.hpa {
+            w.put_u64(e.pfn.0);
+            w.put_u64(e.count);
+            w.put_u64(e.mask);
+        }
+        let mut acc: Vec<(Pfn, (u64, u64))> = self.hwa_acc.iter().map(|(&p, &v)| (p, v)).collect();
+        acc.sort_unstable_by_key(|&(p, _)| p);
+        w.put_u64(acc.len() as u64);
+        for (pfn, (count, mask)) in acc {
+            w.put_u64(pfn.0);
+            w.put_u64(count);
+            w.put_u64(mask);
+        }
+    }
+
+    /// Rebuilds a nominator from a checkpoint section. The saved mode is
+    /// restored as-is: after a tracker failure the live nominator runs in
+    /// `HptOnly` regardless of the configured mode, and a restore must
+    /// continue from exactly that state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated payload or an unknown mode
+    /// tag.
+    pub fn restore(
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<Nominator, cxl_sim::checkpoint::CodecError> {
+        let mode = match r.get_u8()? {
+            0 => NominatorMode::HptOnly,
+            1 => NominatorMode::HptDriven,
+            2 => NominatorMode::HwtDriven,
+            tag => {
+                return Err(cxl_sim::checkpoint::CodecError::BadValue {
+                    what: "nominator mode tag",
+                    value: tag as u64,
+                })
+            }
+        };
+        let n = r.get_u64()? as usize;
+        let mut hpa = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            hpa.push(HpaEntry {
+                pfn: Pfn(r.get_u64()?),
+                count: r.get_u64()?,
+                mask: r.get_u64()?,
+            });
+        }
+        let n = r.get_u64()? as usize;
+        let mut hwa_acc = HashMap::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let pfn = Pfn(r.get_u64()?);
+            let count = r.get_u64()?;
+            let mask = r.get_u64()?;
+            hwa_acc.insert(pfn, (count, mask));
+        }
+        Ok(Nominator { mode, hpa, hwa_acc })
+    }
+
     /// The top `limit` candidates under the mode's ranking.
     pub fn nominate(&self, limit: usize) -> Vec<HpaEntry> {
         let mut v = self.hpa.clone();

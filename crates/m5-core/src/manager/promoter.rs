@@ -75,6 +75,39 @@ impl Promoter {
         self.stats
     }
 
+    /// Serializes the cumulative statistics for a checkpoint (the
+    /// configuration is rebuilt by the restoring side).
+    pub fn save(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        w.put_u64(self.stats.promoted);
+        w.put_u64(self.stats.stale);
+        w.put_u64(self.stats.rejected_unsafe);
+        w.put_u64(self.stats.rejected_other);
+        w.put_u64(self.stats.retried);
+        w.put_u64(self.stats.gave_up);
+    }
+
+    /// Rebuilds a Promoter from a checkpoint section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors from a truncated payload.
+    pub fn restore(
+        config: PromoterConfig,
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<Promoter, cxl_sim::checkpoint::CodecError> {
+        Ok(Promoter {
+            config,
+            stats: PromoterStats {
+                promoted: r.get_u64()?,
+                stale: r.get_u64()?,
+                rejected_unsafe: r.get_u64()?,
+                rejected_other: r.get_u64()?,
+                retried: r.get_u64()?,
+                gave_up: r.get_u64()?,
+            },
+        })
+    }
+
     /// Promotes the nominated pages, returning the batch outcome. The proc
     /// write that hands the addresses into the kernel is billed as manager
     /// work.

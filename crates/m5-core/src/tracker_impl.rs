@@ -56,6 +56,101 @@ pub enum TrackerImpl {
     Ss(SpaceSavingTopK),
 }
 
+impl TrackerImpl {
+    /// Serializes the tracker's SRAM contents — the sketch counter array
+    /// plus the sorted CAM, or the Space-Saving monitored set — for a
+    /// checkpoint. Construction parameters (geometry, seed, `k`) are not
+    /// written: the restoring side rebuilds the tracker from its own
+    /// [`TrackerAlgo`] and loads only the dynamic state into it.
+    pub fn save(&self, w: &mut cxl_sim::checkpoint::StateWriter) {
+        match self {
+            TrackerImpl::Cm(t) => {
+                w.put_u8(0);
+                w.put_u32_slice(t.sketch().counters());
+                w.put_u64(t.sketch().updates());
+                let cam = t.cam().entries();
+                w.put_u64(cam.len() as u64);
+                for e in cam {
+                    w.put_u64(e.addr);
+                    w.put_u64(e.count);
+                }
+            }
+            TrackerImpl::Ss(t) => {
+                w.put_u8(1);
+                let entries = t.inner().entries();
+                w.put_u64(entries.len() as u64);
+                for e in entries {
+                    w.put_u64(e.addr);
+                    w.put_u64(e.count);
+                    w.put_u64(e.error);
+                }
+                w.put_u64(t.inner().total());
+            }
+        }
+    }
+
+    /// Loads checkpointed SRAM contents into a tracker rebuilt with the
+    /// original construction parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cxl_sim::checkpoint::CodecError`] when the payload is
+    /// truncated, describes the other algorithm variant, or fails the
+    /// underlying geometry/ordering validation.
+    pub fn load(
+        &mut self,
+        r: &mut cxl_sim::checkpoint::StateReader<'_>,
+    ) -> Result<(), cxl_sim::checkpoint::CodecError> {
+        use cxl_sim::checkpoint::CodecError;
+        let tag = r.get_u8()?;
+        match (tag, &mut *self) {
+            (0, TrackerImpl::Cm(t)) => {
+                let counters = r.get_u32_vec()?;
+                let updates = r.get_u64()?;
+                let n = r.get_u64()? as usize;
+                let mut cam = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    cam.push(m5_trackers::cam::CamEntry {
+                        addr: r.get_u64()?,
+                        count: r.get_u64()?,
+                    });
+                }
+                if !t.load_state(&counters, updates, &cam) {
+                    return Err(CodecError::BadValue {
+                        what: "cm-sketch tracker state",
+                        value: counters.len() as u64,
+                    });
+                }
+            }
+            (1, TrackerImpl::Ss(t)) => {
+                let n = r.get_u64()? as usize;
+                let mut entries = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    entries.push(m5_trackers::spacesaving::SsEntry {
+                        addr: r.get_u64()?,
+                        count: r.get_u64()?,
+                        error: r.get_u64()?,
+                    });
+                }
+                let total = r.get_u64()?;
+                if !t.load_state(&entries, total) {
+                    return Err(CodecError::BadValue {
+                        what: "space-saving tracker state",
+                        value: entries.len() as u64,
+                    });
+                }
+            }
+            (tag, _) => {
+                return Err(CodecError::BadValue {
+                    what: "tracker algorithm tag",
+                    value: tag as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 impl TopKAlgorithm for TrackerImpl {
     fn record(&mut self, addr: u64) {
         match self {

@@ -80,6 +80,23 @@ struct Inner {
     next_span: u64,
 }
 
+/// The full metric state of an enabled bus as owned plain data, produced
+/// by [`Telemetry::export_state`] and consumed by [`Telemetry::from_state`].
+/// Entries are sorted by key, so two buses with identical metric state
+/// export identical (comparable) values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryState {
+    /// `(name, label, value)` per counter.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(name, label, value)` per gauge.
+    pub gauges: Vec<(String, String, f64)>,
+    /// `(name, label, exact buckets)` per histogram.
+    pub histograms: Vec<(String, String, Log2Histogram)>,
+    /// The span-id allocator position, so span ids stay unique across a
+    /// restore.
+    pub next_span: u64,
+}
+
 /// The telemetry bus. Embed one per instrumented component (the simulator
 /// owns one; the M5 manager records through the simulator's).
 ///
@@ -276,6 +293,66 @@ impl Telemetry {
             .and_then(|i| i.histograms.get(&MetricKey::new(name, label)))
     }
 
+    /// Exports the full metric state — exact histogram buckets, not just
+    /// aggregates — as owned plain data for checkpointing. `None` when
+    /// disabled. Sinks and open spans are not exported: sinks are live I/O
+    /// the restoring process re-attaches itself, and a span open across a
+    /// checkpoint is re-opened by its owner after restore.
+    pub fn export_state(&self) -> Option<TelemetryState> {
+        let inner = self.inner.as_ref()?;
+        Some(TelemetryState {
+            counters: inner
+                .counters
+                .sorted()
+                .into_iter()
+                .map(|(k, v)| (k.name.to_string(), k.label.to_string(), *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .sorted()
+                .into_iter()
+                .map(|(k, v)| (k.name.to_string(), k.label.to_string(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .sorted()
+                .into_iter()
+                .map(|(k, h)| (k.name.to_string(), k.label.to_string(), h.clone()))
+                .collect(),
+            next_span: inner.next_span,
+        })
+    }
+
+    /// Rebuilds an enabled bus (no sinks attached) from exported state.
+    /// Metric keys are interned by leaking the owned strings: the registry
+    /// addresses metrics by `&'static str`, and a restore happens a bounded
+    /// number of times per process, so the leak is a few hundred bytes —
+    /// never per-access.
+    pub fn from_state(state: &TelemetryState) -> Telemetry {
+        fn intern(s: &str) -> &'static str {
+            Box::leak(s.to_string().into_boxed_str())
+        }
+        let mut t = Telemetry::enabled();
+        let inner = t.inner.as_mut().expect("freshly enabled bus has state");
+        for (name, label, v) in &state.counters {
+            *inner
+                .counters
+                .entry(MetricKey::new(intern(name), intern(label))) = *v;
+        }
+        for (name, label, v) in &state.gauges {
+            *inner
+                .gauges
+                .entry(MetricKey::new(intern(name), intern(label))) = *v;
+        }
+        for (name, label, h) in &state.histograms {
+            *inner
+                .histograms
+                .entry(MetricKey::new(intern(name), intern(label))) = h.clone();
+        }
+        inner.next_span = state.next_span;
+        t
+    }
+
     /// Pushes the current snapshot to every sink, then flushes them.
     /// I/O errors are swallowed (telemetry must never fail a run); the
     /// JSONL sink exposes its first error via [`JsonlSink::error`].
@@ -382,6 +459,41 @@ mod tests {
     fn telemetry_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Telemetry>();
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_snapshots_and_span_ids() {
+        let mut t = Telemetry::enabled();
+        t.counter_add("sim.llc", "hit", 7);
+        t.gauge_set("bw", "cxl", 2.25);
+        t.histogram_record("lat", "", 100);
+        t.histogram_record("lat", "", 900);
+        let s1 = t.span_start(0, "s", "a");
+        t.span_end(5, s1);
+        let _open = t.span_start(10, "s", "b");
+
+        let state = t.export_state().unwrap();
+        let restored = Telemetry::from_state(&state);
+        assert_eq!(restored.snapshot(), t.snapshot());
+        // Exact buckets survive, not just aggregates.
+        assert_eq!(restored.histogram("lat", ""), t.histogram("lat", ""));
+        // Span ids continue past the checkpointed allocator position.
+        let mut restored = restored;
+        let s3 = restored.span_start(20, "s", "c");
+        assert_eq!(s3, SpanId(3));
+        // Disabled buses export nothing.
+        assert!(Telemetry::disabled().export_state().is_none());
+    }
+
+    #[test]
+    fn histogram_from_parts_validates_geometry() {
+        let mut h = Log2Histogram::new();
+        for v in [3u64, 900, 0] {
+            h.record(v);
+        }
+        let rebuilt = Log2Histogram::from_parts(h.buckets(), h.sum(), h.max()).unwrap();
+        assert_eq!(rebuilt, h);
+        assert!(Log2Histogram::from_parts(&[0; 3], 0, 0).is_none());
     }
 
     #[test]

@@ -160,6 +160,22 @@ impl Log2Histogram {
         self.sum = 0;
         self.max = 0;
     }
+
+    /// Rebuilds a histogram from previously exported aggregates (the
+    /// checkpoint/restore path). Returns `None` when `counts` does not have
+    /// exactly [`LOG2_BUCKETS`] entries or the bucket counts do not sum to
+    /// `total` — a histogram that lies about its own count would silently
+    /// corrupt every downstream quantile.
+    pub fn from_parts(counts: &[u64], sum: u128, max: u64) -> Option<Log2Histogram> {
+        let counts: [u64; LOG2_BUCKETS] = counts.try_into().ok()?;
+        let total: u64 = counts.iter().sum();
+        Some(Log2Histogram {
+            counts,
+            total,
+            sum,
+            max,
+        })
+    }
 }
 
 /// A point-in-time copy of one histogram's aggregates, cheap to compare

@@ -105,6 +105,19 @@ impl SortedCam {
     pub fn reset(&mut self) {
         self.entries.clear();
     }
+
+    /// Restores previously exported entries (hottest first). Returns
+    /// `false` (and leaves the CAM untouched) when `entries` exceeds the
+    /// capacity `K` or is not sorted descending by count — loading an
+    /// unsorted CAM would silently break the replace-min invariant.
+    pub fn load_entries(&mut self, entries: &[CamEntry]) -> bool {
+        if entries.len() > self.k || entries.windows(2).any(|w| w[0].count < w[1].count) {
+            return false;
+        }
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,25 @@ impl CmSketch {
         self.counters.fill(0);
         self.updates = 0;
     }
+
+    /// The raw counter array, row-major (`rows × width`), for state export.
+    pub fn counters(&self) -> &[u32] {
+        &self.counters
+    }
+
+    /// Restores previously exported counters and the update count. The
+    /// hash family is deterministic from the construction seed, so a
+    /// rebuilt-then-loaded sketch behaves identically to the exported one.
+    /// Returns `false` (and leaves the sketch untouched) when the counter
+    /// vector does not match this sketch's geometry.
+    pub fn load_state(&mut self, counters: &[u32], updates: u64) -> bool {
+        if counters.len() != self.counters.len() {
+            return false;
+        }
+        self.counters.copy_from_slice(counters);
+        self.updates = updates;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,28 @@ impl SpaceSaving {
         self.index.clear();
         self.total = 0;
     }
+
+    /// Restores previously exported entries (hottest first) and the update
+    /// total; the address index is derived state, rebuilt here. Returns
+    /// `false` (and leaves the tracker untouched) when `entries` exceeds
+    /// the capacity, is not sorted descending by count, or repeats an
+    /// address.
+    pub fn load_state(&mut self, entries: &[SsEntry], total: u64) -> bool {
+        if entries.len() > self.capacity || entries.windows(2).any(|w| w[0].count < w[1].count) {
+            return false;
+        }
+        let mut index = HashMap::with_capacity(self.capacity);
+        for (pos, e) in entries.iter().enumerate() {
+            if index.insert(e.addr, pos).is_some() {
+                return false;
+            }
+        }
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        self.index = index;
+        self.total = total;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,19 @@ impl CmSketchTopK {
     pub fn cam(&self) -> &SortedCam {
         &self.cam
     }
+
+    /// Restores exported sketch counters and CAM entries into a tracker
+    /// rebuilt with the original construction parameters. Returns `false`
+    /// (leaving the tracker partially untouched only if the sketch load
+    /// already failed) on any geometry or ordering mismatch.
+    pub fn load_state(
+        &mut self,
+        counters: &[u32],
+        updates: u64,
+        cam: &[crate::cam::CamEntry],
+    ) -> bool {
+        self.sketch.load_state(counters, updates) && self.cam.load_entries(cam)
+    }
 }
 
 impl TopKAlgorithm for CmSketchTopK {
@@ -131,6 +144,12 @@ impl SpaceSavingTopK {
     /// The underlying Space-Saving state.
     pub fn inner(&self) -> &SpaceSaving {
         &self.ss
+    }
+
+    /// Restores exported Space-Saving entries; see
+    /// [`SpaceSaving::load_state`].
+    pub fn load_state(&mut self, entries: &[crate::spacesaving::SsEntry], total: u64) -> bool {
+        self.ss.load_state(entries, total)
     }
 }
 
@@ -305,6 +324,51 @@ mod tests {
             assert_eq!(t.top_k()[0].0, 1, "{}", t.name());
             assert!(t.entries() > 0);
         }
+    }
+
+    #[test]
+    fn state_export_import_roundtrips_mid_epoch() {
+        let stream = zipf_stream(200, 5_000, 3);
+        let (head, tail) = stream.split_at(2_500);
+
+        // CM-Sketch: rebuild from construction params, load mid-epoch
+        // state, and the continued run must match the uninterrupted one.
+        let mut a = CmSketchTopK::with_total_entries(4, 1024, 5, 9);
+        run(&mut a, &stream);
+        let mut b = CmSketchTopK::with_total_entries(4, 1024, 5, 9);
+        run(&mut b, head);
+        let (counters, updates, cam) = (
+            b.sketch().counters().to_vec(),
+            b.sketch().updates(),
+            b.cam().entries().to_vec(),
+        );
+        let mut b2 = CmSketchTopK::with_total_entries(4, 1024, 5, 9);
+        assert!(b2.load_state(&counters, updates, &cam));
+        run(&mut b2, tail);
+        assert_eq!(a.top_k(), b2.top_k());
+        assert_eq!(a.sketch().updates(), b2.sketch().updates());
+
+        // Space-Saving likewise.
+        let mut sa = SpaceSavingTopK::new(64, 5);
+        run(&mut sa, &stream);
+        let mut sb = SpaceSavingTopK::new(64, 5);
+        run(&mut sb, head);
+        let (entries, total) = (sb.inner().entries().to_vec(), sb.inner().total());
+        let mut sb2 = SpaceSavingTopK::new(64, 5);
+        assert!(sb2.load_state(&entries, total));
+        run(&mut sb2, tail);
+        assert_eq!(sa.top_k(), sb2.top_k());
+
+        // Geometry/ordering violations are rejected.
+        let mut bad = CmSketchTopK::with_total_entries(4, 1024, 5, 9);
+        assert!(!bad.load_state(&counters[..3], updates, &cam));
+        let unsorted = vec![
+            crate::cam::CamEntry { addr: 1, count: 1 },
+            crate::cam::CamEntry { addr: 2, count: 9 },
+        ];
+        assert!(!bad.load_state(&counters, updates, &unsorted));
+        let mut ss_bad = SpaceSavingTopK::new(1, 1);
+        assert!(!ss_bad.load_state(&entries, total), "over capacity");
     }
 
     #[test]

@@ -142,6 +142,18 @@ impl ReplayWorkload {
         }
     }
 
+    /// The replay cursor: accesses consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the replay cursor, clamped to the trace length. A run
+    /// checkpoint records [`ReplayWorkload::pos`]; the restoring side
+    /// regenerates the same trace from its spec and seeks back here.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.trace.len());
+    }
+
     /// The highest region-relative byte offset touched, plus one (the
     /// region size the trace needs).
     pub fn max_extent(&self) -> u64 {
@@ -221,6 +233,29 @@ mod tests {
         let mut wl = rec.into_workload("t", VirtAddr(0));
         assert!(!wl.next_access().unwrap().op_end);
         assert!(wl.next_access().unwrap().op_end);
+    }
+
+    #[test]
+    fn seek_resumes_exactly_where_pos_left_off() {
+        let mut rec = AccessRecorder::new();
+        for i in 0..20 {
+            rec.read(i * 64);
+        }
+        let mut a = rec.into_workload("t", VirtAddr(0));
+        for _ in 0..7 {
+            a.next_access();
+        }
+        let mut b = a.fresh();
+        b.seek(a.pos());
+        assert_eq!(b.pos(), 7);
+        while let (Some(x), Some(y)) = (a.next_access(), b.next_access()) {
+            assert_eq!(x, y);
+        }
+        assert!(a.next_access().is_none() && b.next_access().is_none());
+        // Seeking past the end clamps: the stream is exhausted, not UB.
+        let mut c = b.fresh();
+        c.seek(usize::MAX);
+        assert!(c.next_access().is_none());
     }
 
     #[test]

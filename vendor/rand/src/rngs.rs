@@ -30,6 +30,19 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for exact checkpoint/restore of a
+    /// generator mid-stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> SmallRng {
+        SmallRng { s }
+    }
+}
+
 impl RngCore for SmallRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
