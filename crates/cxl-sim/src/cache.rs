@@ -91,6 +91,50 @@ const EMPTY: u64 = u64::MAX;
 const DIRTY: u64 = 1 << 63;
 const ADDR_MASK: u64 = !DIRTY;
 
+/// "No writeback" sentinel in [`Llc::access_grouped`]'s output array (a
+/// real line address never reaches `u64::MAX`).
+pub const NO_WRITEBACK: u64 = u64::MAX;
+
+/// Write flag in [`Llc::access_grouped`]'s packed request words (bit 63,
+/// above the 63 usable address bits — the same packing as the entry array).
+pub const REQ_WRITE_BIT: u64 = DIRTY;
+
+/// Batch density (requests per set) above which [`Llc::access_grouped`]
+/// switches from the prefetched in-order probe to the counting-sort
+/// grouped sweep. Below this, most sets are touched at most once, so
+/// grouping has no same-set locality to exploit and only adds sort
+/// passes; well above it, consecutive same-set probes amortize each
+/// set's entry lines across several accesses.
+const GROUP_MIN_REQS_PER_SET: usize = 4;
+
+/// Reusable counting-sort scratch for [`Llc::access_grouped`].
+///
+/// All buffers are preallocated to the cache's set count on first use and
+/// only the touched entries are reset between batches, so a batch over `n`
+/// accesses costs `O(n)` regardless of how many sets the cache has.
+#[derive(Clone, Debug, Default)]
+pub struct LlcSetScratch {
+    /// Per-set access count for the current batch (zeroed lazily).
+    count: Vec<u32>,
+    /// Per-set write cursor while scattering (valid only for touched sets).
+    cursor: Vec<u32>,
+    /// Sets touched by the current batch, in first-appearance order.
+    touched: Vec<u32>,
+    /// Per-access set index.
+    set_of: Vec<u32>,
+    /// Access indices grouped by set, preserving per-set arrival order.
+    order: Vec<u32>,
+}
+
+impl LlcSetScratch {
+    fn ensure(&mut self, n_sets: usize) {
+        if self.count.len() < n_sets {
+            self.count.resize(n_sets, 0);
+            self.cursor.resize(n_sets, 0);
+        }
+    }
+}
+
 /// A set-associative LLC with per-set LRU replacement and write-allocate,
 /// writeback semantics, stored as a single flat array of packed entries.
 #[derive(Clone, Debug)]
@@ -254,6 +298,23 @@ impl Llc {
         self.ways.trailing_zeros()
     }
 
+    /// Prefetch hint for the entry slice of `set_idx`: touch-loads one
+    /// entry per cache line of the set (the crate forbids `unsafe`, so
+    /// this is a `black_box` read rather than a prefetch intrinsic — an
+    /// out-of-order core overlaps the resulting fills all the same). The
+    /// batch probe issues this a few requests ahead of the demand access,
+    /// so the set's lines are in flight while earlier probes retire — the
+    /// memory-level parallelism a serial probe loop cannot express. No
+    /// observable effect: the loaded values are discarded.
+    #[inline]
+    fn prefetch_set(&self, set_idx: usize) {
+        let base = set_idx * self.ways;
+        std::hint::black_box(self.entries[base]);
+        if self.ways > 8 {
+            std::hint::black_box(self.entries[base + 8]);
+        }
+    }
+
     /// Performs a demand access to `line`. On a miss the line is allocated
     /// (write-allocate: even stores first fill the line).
     #[inline]
@@ -264,8 +325,190 @@ impl Llc {
         }
     }
 
+    /// One demand access with the set index already computed (the batch
+    /// probe hands sets out in grouped order).
+    #[inline]
+    fn access_at(&mut self, set_idx: usize, line: CacheLineAddr, is_write: bool) -> CacheAccess {
+        match self.policy {
+            ReplacementPolicy::ExactLru => self.access_lru_at(set_idx, line, is_write),
+            ReplacementPolicy::TreeLru => self.access_plru_at(set_idx, line, is_write),
+        }
+    }
+
+    /// Probes the cache for a whole batch of packed requests (`line | `
+    /// [`REQ_WRITE_BIT`]), choosing between two byte-identical probe
+    /// orders by batch density.
+    ///
+    /// `hit_out[i]` / `wb_out[i]` ([`NO_WRITEBACK`] when none) receive the
+    /// outcome of request `i` in the *original* order.
+    ///
+    /// **Dense batches** (several requests per set on average) are grouped
+    /// by set with a stable counting sort so the per-set entry slice stays
+    /// cache-resident across consecutive probes. Grouping preserves exact
+    /// replacement semantics: a set's entries are touched only by accesses
+    /// mapping to that set, and within each group the original arrival
+    /// order is kept (the scatter is stable), so every hit/miss/victim/
+    /// writeback decision — LRU recency order and pLRU tree alike — is
+    /// identical to calling [`Llc::access`] per request in order. Only the
+    /// interleaving *between* independent sets changes, which no cache
+    /// state observes.
+    ///
+    /// **Sparse batches** (the common case: quiet-segment blocks are a few
+    /// hundred to a few thousand requests over ~1 K sets, so most sets see
+    /// at most one probe) gain nothing from grouping — there is no
+    /// same-set reuse to create — and would pay the sort's extra passes.
+    /// They run in original order with a [`Llc::prefetch_set`] lookahead
+    /// instead: the whole request vector is known up front, so the probe
+    /// `i` can start the line fills for request `i + 8` concurrently.
+    pub fn access_grouped(
+        &mut self,
+        reqs: &[u64],
+        hit_out: &mut Vec<bool>,
+        wb_out: &mut Vec<u64>,
+        scratch: &mut LlcSetScratch,
+    ) {
+        let n = reqs.len();
+        hit_out.clear();
+        hit_out.resize(n, false);
+        wb_out.clear();
+        wb_out.resize(n, NO_WRITEBACK);
+        if n < GROUP_MIN_REQS_PER_SET * self.n_sets {
+            // Probe in original order, one warm window at a time: a burst
+            // of independent touch-loads pulls every set the window will
+            // probe into L1 with full memory-level parallelism, then the
+            // (serially dependent) probe loop runs against warm lines.
+            // A window of 32 touches at most 64 cache lines — comfortably
+            // L1-resident until the probe reaches them.
+            const WARM_WINDOW: usize = 32;
+            match self.policy {
+                // Replacement policy hoisted out of the loop. Under exact
+                // LRU, any probe — hit or fill — leaves its line at way 0
+                // (MRU), so a *consecutive* re-probe of the same line
+                // would scan exactly one entry and its move-to-front
+                // would be a no-op: the only state changes are the dirty
+                // bit and the hit counter, which the fast path applies
+                // directly. Word-granular streams revisit the same 64 B
+                // line in runs, so this skips most probes entirely.
+                ReplacementPolicy::ExactLru => {
+                    let mut prev = EMPTY; // no line address is ever EMPTY
+                    let mut prev_base = 0usize;
+                    let mut w0 = 0usize;
+                    while w0 < n {
+                        let w1 = (w0 + WARM_WINDOW).min(n);
+                        for &r in &reqs[w0..w1] {
+                            self.prefetch_set(self.set_index(CacheLineAddr(r & ADDR_MASK)));
+                        }
+                        for i in w0..w1 {
+                            let r = reqs[i];
+                            let line = r & ADDR_MASK;
+                            if line == prev {
+                                if r & REQ_WRITE_BIT != 0 {
+                                    self.entries[prev_base] |= DIRTY;
+                                }
+                                self.hits += 1;
+                                hit_out[i] = true;
+                                continue;
+                            }
+                            let set_idx = self.set_index(CacheLineAddr(line));
+                            let res = self.access_lru_at(
+                                set_idx,
+                                CacheLineAddr(line),
+                                r & REQ_WRITE_BIT != 0,
+                            );
+                            hit_out[i] = res.hit;
+                            if let Some(wb) = res.writeback {
+                                wb_out[i] = wb.0;
+                            }
+                            prev = line;
+                            prev_base = set_idx * self.ways;
+                        }
+                        w0 = w1;
+                    }
+                }
+                ReplacementPolicy::TreeLru => {
+                    let mut w0 = 0usize;
+                    while w0 < n {
+                        let w1 = (w0 + WARM_WINDOW).min(n);
+                        for &r in &reqs[w0..w1] {
+                            self.prefetch_set(self.set_index(CacheLineAddr(r & ADDR_MASK)));
+                        }
+                        for i in w0..w1 {
+                            let line = CacheLineAddr(reqs[i] & ADDR_MASK);
+                            let res = self.access_plru_at(
+                                self.set_index(line),
+                                line,
+                                reqs[i] & REQ_WRITE_BIT != 0,
+                            );
+                            hit_out[i] = res.hit;
+                            if let Some(wb) = res.writeback {
+                                wb_out[i] = wb.0;
+                            }
+                        }
+                        w0 = w1;
+                    }
+                }
+            }
+            return;
+        }
+        scratch.ensure(self.n_sets);
+        scratch.set_of.clear();
+        scratch.touched.clear();
+        for &r in reqs {
+            let si = self.set_index(CacheLineAddr(r & ADDR_MASK)) as u32;
+            scratch.set_of.push(si);
+            if scratch.count[si as usize] == 0 {
+                scratch.touched.push(si);
+            }
+            scratch.count[si as usize] += 1;
+        }
+        let mut off = 0u32;
+        for &si in &scratch.touched {
+            scratch.cursor[si as usize] = off;
+            off += scratch.count[si as usize];
+        }
+        scratch.order.clear();
+        scratch.order.resize(n, 0);
+        for (i, &si) in scratch.set_of.iter().enumerate() {
+            let c = &mut scratch.cursor[si as usize];
+            scratch.order[*c as usize] = i as u32;
+            *c += 1;
+        }
+        let mut pos = 0usize;
+        for (j, &si) in scratch.touched.iter().enumerate() {
+            if let Some(&next) = scratch.touched.get(j + 1) {
+                self.prefetch_set(next as usize);
+            }
+            let cnt = scratch.count[si as usize] as usize;
+            for &i in &scratch.order[pos..pos + cnt] {
+                let i = i as usize;
+                let r = reqs[i];
+                let res = self.access_at(
+                    si as usize,
+                    CacheLineAddr(r & ADDR_MASK),
+                    r & REQ_WRITE_BIT != 0,
+                );
+                hit_out[i] = res.hit;
+                if let Some(wb) = res.writeback {
+                    wb_out[i] = wb.0;
+                }
+            }
+            pos += cnt;
+            scratch.count[si as usize] = 0;
+        }
+    }
+
     fn access_lru(&mut self, line: CacheLineAddr, is_write: bool) -> CacheAccess {
-        let base = self.set_index(line) * self.ways;
+        self.access_lru_at(self.set_index(line), line, is_write)
+    }
+
+    #[inline]
+    fn access_lru_at(
+        &mut self,
+        set_idx: usize,
+        line: CacheLineAddr,
+        is_write: bool,
+    ) -> CacheAccess {
+        let base = set_idx * self.ways;
         let set = &mut self.entries[base..base + self.ways];
         // Valid entries form a recency-ordered prefix (way 0 = MRU).
         let mut len = set.len();
@@ -307,7 +550,11 @@ impl Llc {
     }
 
     fn access_plru(&mut self, line: CacheLineAddr, is_write: bool) -> CacheAccess {
-        let idx = self.set_index(line);
+        self.access_plru_at(self.set_index(line), line, is_write)
+    }
+
+    #[inline]
+    fn access_plru_at(&mut self, idx: usize, line: CacheLineAddr, is_write: bool) -> CacheAccess {
         let base = idx * self.ways;
         let levels = self.levels();
         let set = &mut self.entries[base..base + self.ways];
@@ -608,6 +855,50 @@ mod tests {
         assert_eq!(llc.invalidate(CacheLineAddr(0)), Some(CacheLineAddr(0)));
         assert_eq!(llc.occupancy(), 0);
         assert!(!llc.contains(CacheLineAddr(0)));
+    }
+
+    #[test]
+    fn grouped_probe_matches_scalar_access_for_both_policies() {
+        for policy in [ReplacementPolicy::ExactLru, ReplacementPolicy::TreeLru] {
+            let mut scalar = Llc::with_policy(LlcConfig::tiny(), policy);
+            let mut grouped = scalar.clone();
+            let mut x = 0x1234_5u64;
+            let reqs: Vec<u64> = (0..512)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 20) % 256) | if x & 1 == 1 { REQ_WRITE_BIT } else { 0 }
+                })
+                .collect();
+            let (mut hits, mut wbs) = (Vec::new(), Vec::new());
+            let mut scratch = LlcSetScratch::default();
+            // Two batches, to exercise the lazy scratch reset between them.
+            for batch in reqs.chunks(256) {
+                let expect: Vec<CacheAccess> = batch
+                    .iter()
+                    .map(|&r| {
+                        scalar.access(CacheLineAddr(r & !REQ_WRITE_BIT), r & REQ_WRITE_BIT != 0)
+                    })
+                    .collect();
+                grouped.access_grouped(batch, &mut hits, &mut wbs, &mut scratch);
+                for (i, e) in expect.iter().enumerate() {
+                    assert_eq!(hits[i], e.hit, "{policy:?} req {i}");
+                    assert_eq!(
+                        wbs[i],
+                        e.writeback.map_or(NO_WRITEBACK, |w| w.0),
+                        "{policy:?} req {i}"
+                    );
+                }
+            }
+            assert_eq!(scalar.entries, grouped.entries, "{policy:?}");
+            assert_eq!(scalar.plru, grouped.plru, "{policy:?}");
+            assert_eq!(
+                (scalar.hits, scalar.misses, scalar.writebacks),
+                (grouped.hits, grouped.misses, grouped.writebacks),
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl PerfMonitor {
     }
 
     /// Records one 64 B DRAM read (an LLC miss fill) on `node`.
+    #[inline]
     pub fn record_read(&mut self, node: NodeId) {
         self.window_reads[idx(node)] += 1;
         self.total_reads[idx(node)] += 1;
@@ -89,6 +90,7 @@ impl PerfMonitor {
     /// dropped on the floor (only cumulative totals existed), which made
     /// the window partition lossy for any consumer billing read and write
     /// traffic asymmetrically.
+    #[inline]
     pub fn record_writeback(&mut self, node: NodeId) {
         self.window_writebacks[idx(node)] += 1;
         self.total_writebacks[idx(node)] += 1;

@@ -25,18 +25,21 @@
 //! attributable to the application.
 
 use crate::addr::{CacheLineAddr, Pfn, VirtAddr, Vpn, WordIndex, WORDS_PER_PAGE};
-use crate::cache::Llc;
-use crate::chunk::{AccessChunk, CHUNK_ADDR_MASK, CHUNK_OP_END_BIT, CHUNK_WRITE_BIT};
+use crate::cache::{Llc, LlcSetScratch, NO_WRITEBACK, REQ_WRITE_BIT};
+use crate::chunk::{
+    word_is_op_end, word_is_write, word_vaddr, AccessChunk, CHUNK_ADDR_MASK, CHUNK_OP_END_BIT,
+    CHUNK_WRITE_BIT,
+};
 use crate::config::{Placement, SystemConfig};
 use crate::contention::{Contention, TrafficClass};
-use crate::controller::{CxlController, CxlDevice, DeviceHandle};
+use crate::controller::{CxlController, CxlDevice, DeviceHandle, SnoopEvent};
 use crate::faults::{DeviceFault, FaultClass, FaultEvent, FaultInjector, FaultPlan, SimError};
 use crate::journal::{MigrationJournal, RecoveryReport, TxnId, TxnState};
 use crate::kernel::{CostKind, KernelCosts};
 use crate::memory::{NodeId, OutOfFrames, TieredMemory, CXL_BASE_PFN};
 use crate::mglru::MgLru;
 use crate::migration::{BatchOutcome, MigrateError, MigrationStats};
-use crate::paging::PageTable;
+use crate::paging::{PageTable, PteFlags};
 use crate::perfmon::{BandwidthStats, PerfMonitor};
 use crate::ras::{EvacuationReport, NodeHealth, RasState};
 use crate::report::{HealthReport, LatencyHistogram, RunReport};
@@ -252,6 +255,46 @@ fn node_idx(node: NodeId) -> usize {
     }
 }
 
+/// Reusable struct-of-arrays scratch for the staged batch engine
+/// ([`System::staged_block`]). Pure working memory: cleared at every use,
+/// observable state never passes through it, and it is deliberately absent
+/// from checkpoints — a restored system with empty scratch behaves
+/// identically.
+#[derive(Debug, Default)]
+struct StagedScratch {
+    /// Packed per-access LLC requests: line address | [`REQ_WRITE_BIT`].
+    reqs: Vec<u64>,
+    /// Pre-LLC latency (hinting fault + page walk) per access, ns.
+    base_lat: Vec<u64>,
+    /// Per-access LLC hit flags (stage 2 output).
+    hits: Vec<bool>,
+    /// Per-access dirty-victim lines ([`NO_WRITEBACK`] when none).
+    wbs: Vec<u64>,
+    /// CXL snoops deferred within the block, flushed in stage 4.
+    snoops: Vec<SnoopEvent>,
+    /// Counting-sort scratch for the set-grouped LLC probe.
+    llc: LlcSetScratch,
+}
+
+/// Cumulative wall-clock spent in each staged pass, recorded only after
+/// [`System::enable_stage_timing`] (the throughput bench's opt-in
+/// stage-breakdown flag; timing syscalls are not free on the hot path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// Stage 1 — translate: paging, TLB, PTE-flag accumulation. Nanoseconds.
+    pub translate_ns: u64,
+    /// Stage 2 — set-grouped LLC probe. Nanoseconds.
+    pub llc_ns: u64,
+    /// Stage 3 — latency classification and billing. Nanoseconds.
+    pub bill_ns: u64,
+    /// Stage 4 — batched tracker/snoop feed. Nanoseconds.
+    pub tracker_ns: u64,
+    /// Staged blocks executed.
+    pub blocks: u64,
+    /// Accesses that went through the staged path (vs the scalar loop).
+    pub staged_accesses: u64,
+}
+
 /// The composed tiered-memory machine.
 #[derive(Debug)]
 pub struct System {
@@ -293,6 +336,10 @@ pub struct System {
     /// Whether the current evacuation already noted survivor-capacity
     /// exhaustion (one degradation entry per evacuation, not per epoch).
     evac_exhaustion_noted: bool,
+    /// SoA scratch for the staged batch engine; transient, not checkpointed.
+    staged: StagedScratch,
+    /// Per-stage wall-clock accounting, when enabled (boxed: cold field).
+    stage_times: Option<Box<StageTimes>>,
 }
 
 impl System {
@@ -340,6 +387,8 @@ impl System {
             ras: RasState::new(config.ras),
             evac_span: None,
             evac_exhaustion_noted: false,
+            staged: StagedScratch::default(),
+            stage_times: None,
             config,
         }
     }
@@ -865,6 +914,298 @@ impl System {
         })
     }
 
+    /// Turns on per-stage wall-clock accounting for the staged batch
+    /// engine. Opt-in: two monotonic-clock reads per stage are not free on
+    /// the hot path, so the default build pays only one branch per block.
+    pub fn enable_stage_timing(&mut self) {
+        self.stage_times = Some(Box::default());
+    }
+
+    /// Cumulative staged-pass timings, if enabled.
+    pub fn stage_times(&self) -> Option<&StageTimes> {
+        self.stage_times.as_deref()
+    }
+
+    /// Strict upper bound on a single *non-faulting* quiet-segment
+    /// access's latency: every additive term of [`System::access_core`]
+    /// at its maximum — page walk, LLC hit, the slower node's fill, plus
+    /// the contention cap. Fault and RAS extras are zero by the caller's
+    /// quiescence proof.
+    ///
+    /// The hinting-fault cost is deliberately excluded even though a
+    /// faulting access bills it: a hinting fault *terminates* the staged
+    /// block (and the batch), so a faulting access's clock advance never
+    /// contributes to a later access's start time. Block sizing only
+    /// needs every access to **start** before the horizon, and start
+    /// times are sums of preceding non-faulting advances — all bounded by
+    /// this value. Including the (20–30× larger) fault cost would shrink
+    /// blocks by an order of magnitude for a case that cannot gate them.
+    ///
+    /// The bound holds for a whole batch: node latencies are
+    /// configuration, and contention's standing delay only moves at
+    /// rollover, which happens at daemon ticks, never mid-batch.
+    fn quiet_access_bound(&self) -> Nanos {
+        let c = self.config.costs;
+        let mut b = c.page_walk + c.llc_hit;
+        b += self
+            .memory
+            .node(NodeId::Ddr)
+            .access_latency()
+            .max(self.memory.node(NodeId::Cxl).access_latency());
+        if self.contention_on {
+            b += self
+                .contention
+                .demand_delay_bound(NodeId::Ddr)
+                .max(self.contention.demand_delay_bound(NodeId::Cxl));
+        }
+        b
+    }
+
+    /// Runs a quiet-segment block through the four staged struct-of-arrays
+    /// passes: translate, set-grouped LLC probe, in-order billing, batched
+    /// tracker feed. Returns how many accesses executed (the whole block,
+    /// unless a hinting fault cut it short) and the faulting VPN, if any.
+    ///
+    /// The caller guarantees every access in `words` *starts* before its
+    /// horizon (via [`System::quiet_access_bound`]), the injector is
+    /// quiescent, and no TLB flush is due — the same preconditions as the
+    /// scalar `access_core(.., false)` loop this replaces.
+    ///
+    /// ## Why the staging is byte-identical to the scalar loop
+    ///
+    /// Within a quiescent segment the per-access mutations partition:
+    ///
+    /// * **TLB + PTE flags** are touched only by translate logic. The TLB
+    ///   evolves from the VPN sequence alone, which stage 1 replays in
+    ///   order. Flag bits only accumulate (OR) within a segment and
+    ///   nothing reads the page table until the next pause, so storing
+    ///   once per page run instead of per access leaves identical state.
+    /// * **LLC** state depends only on the `(line, is_write)` sequence;
+    ///   see [`Llc::access_grouped`] for why set-grouping preserves it.
+    /// * **Clock, contention, perfmon, telemetry, op latencies** are
+    ///   billed by stage 3 strictly in access order with the same
+    ///   pre-advance `now` per access, reproducing the exact clock
+    ///   evolution — stages 1–2 never advance the clock.
+    /// * **Snoop devices** are only read at daemon ticks (pauses), and
+    ///   each sees its `(line, is_write, now)` sequence unchanged, so
+    ///   deferring delivery to stage 4 is invisible (devices are mutually
+    ///   independent; see [`CxlController::snoop_batch`]).
+    fn staged_block(&mut self, words: &[u64], st: &mut BatchState) -> (usize, Option<Vpn>) {
+        let timing = self.stage_times.is_some();
+        let mut s = std::mem::take(&mut self.staged);
+        let costs = self.config.costs;
+
+        // Stage 1: translate every address, accumulating PTE flags per
+        // page run and storing them once.
+        let t0 = timing.then(std::time::Instant::now);
+        s.reqs.clear();
+        s.base_lat.clear();
+        let mut cut = words.len();
+        let mut fault_vpn = None;
+        let mut cur_vpn: Option<Vpn> = None;
+        let mut cur_pfn = Pfn(0);
+        // Dummy until the first page run begins (cur_vpn is None).
+        let mut cur_flags = PteFlags::new_mapped();
+        let mut orig_flags = cur_flags;
+        const PT_LOOKAHEAD: usize = 16;
+        for (i, &w) in words.iter().enumerate() {
+            let vaddr = word_vaddr(w);
+            let vpn = vaddr.vpn();
+            if cur_vpn == Some(vpn) {
+                // In-page continuation: the run's first access proved the
+                // page present (a hinting fault there truncates the block,
+                // so no continuation exists) and left this VPN most
+                // recently used in its TLB set via lookup-hit or insert —
+                // with no intervening TLB traffic, the hit is certain and
+                // its move-to-front a no-op. Only the hit counter, the
+                // accumulated dirty bit, and the LLC request remain.
+                self.tlb.repeat_hit();
+                let is_write = word_is_write(w);
+                if is_write {
+                    cur_flags = cur_flags.with_dirty();
+                }
+                let line = cur_pfn.word(WordIndex(vaddr.word_index().0)).cache_line();
+                s.reqs
+                    .push(line.0 | if is_write { REQ_WRITE_BIT } else { 0 });
+                s.base_lat.push(0);
+                continue;
+            }
+            if let Some(&wa) = words.get(i + PT_LOOKAHEAD) {
+                self.page_table.prefetch(word_vaddr(wa).vpn());
+            }
+            if let Some(pv) = cur_vpn {
+                if cur_flags != orig_flags {
+                    self.page_table.store_flags(pv, cur_flags);
+                }
+            }
+            let pte = match self.page_table.get(vpn) {
+                Some(p) => *p,
+                None => panic!("{}", SimError::Unmapped(vaddr)),
+            };
+            cur_vpn = Some(vpn);
+            cur_pfn = pte.pfn;
+            cur_flags = pte.flags;
+            orig_flags = pte.flags;
+            let mut lat = 0u64;
+            let mut hint = false;
+            if !cur_flags.present() {
+                hint = true;
+                self.hinting_faults += 1;
+                self.bill_kernel(CostKind::HintingFault, costs.hinting_fault);
+                lat += costs.hinting_fault.0;
+                cur_flags = cur_flags.with_present();
+            }
+            if !self.tlb.lookup(vpn) {
+                lat += costs.page_walk.0;
+                cur_flags = cur_flags.with_accessed();
+                self.tlb.insert(vpn);
+            }
+            let is_write = word_is_write(w);
+            if is_write {
+                cur_flags = cur_flags.with_dirty();
+            }
+            let line = cur_pfn.word(WordIndex(vaddr.word_index().0)).cache_line();
+            s.reqs
+                .push(line.0 | if is_write { REQ_WRITE_BIT } else { 0 });
+            s.base_lat.push(lat);
+            if hint {
+                // The batch pauses after a hinting fault (the driver
+                // delivers it to the daemon); truncate the block here.
+                cut = i + 1;
+                fault_vpn = Some(vpn);
+                break;
+            }
+        }
+        if let Some(pv) = cur_vpn {
+            if cur_flags != orig_flags {
+                self.page_table.store_flags(pv, cur_flags);
+            }
+        }
+
+        // Stage 2: probe the LLC for the whole block, set-grouped.
+        let t1 = timing.then(std::time::Instant::now);
+        self.llc
+            .access_grouped(&s.reqs, &mut s.hits, &mut s.wbs, &mut s.llc);
+
+        // Stage 3: classify and bill every access, strictly in order.
+        let t2 = timing.then(std::time::Instant::now);
+        let node_lat = [
+            self.memory.node(NodeId::Ddr).access_latency(),
+            self.memory.node(NodeId::Cxl).access_latency(),
+        ];
+        s.snoops.clear();
+        // The clock lives in a register for the whole pass, and every
+        // telemetry counter below is a pure sum — accumulating the block's
+        // deltas locally and merging them once leaves `batch` and the
+        // clock in exactly the per-access state (histograms still record
+        // per access; their state is commutative counters either way).
+        let now0 = self.clock.now();
+        let mut now = now0;
+        let mut acc = [0u64; 2];
+        let mut llc_hm = [0u64; 2];
+        let mut dram_reads = [0u64; 2];
+        let mut dram_wbs = [0u64; 2];
+        let mut snoops_rw = [0u64; 2];
+        for (i, &w) in words.iter().enumerate().take(cut) {
+            let req = s.reqs[i];
+            let line = CacheLineAddr(req & !REQ_WRITE_BIT);
+            let is_write = req & REQ_WRITE_BIT != 0;
+            let hit = s.hits[i];
+            let mut latency = Nanos(s.base_lat[i]) + costs.llc_hit;
+            let mut dram_node = None;
+            if !hit {
+                let node = NodeId::of_pfn(line.pfn());
+                latency += node_lat[node_idx(node)];
+                self.perfmon.record_read(node);
+                if self.contention_on {
+                    let extra = self.contention.demand_delay(node, now);
+                    latency += extra;
+                    if self.telemetry_on {
+                        self.batch.contention_extra[node_idx(node)].record(extra.0);
+                    }
+                }
+                if node == NodeId::Cxl {
+                    s.snoops.push(SnoopEvent {
+                        line,
+                        is_write: false,
+                        now,
+                    });
+                    snoops_rw[0] += 1;
+                }
+                dram_node = Some(node);
+            }
+            if s.wbs[i] != NO_WRITEBACK {
+                let wb = CacheLineAddr(s.wbs[i]);
+                let wb_node = NodeId::of_pfn(wb.pfn());
+                self.perfmon.record_writeback(wb_node);
+                if self.contention_on {
+                    self.contention.writeback(wb_node, now);
+                }
+                dram_wbs[node_idx(wb_node)] += 1;
+                if wb_node == NodeId::Cxl {
+                    s.snoops.push(SnoopEvent {
+                        line: wb,
+                        is_write: true,
+                        now,
+                    });
+                    snoops_rw[1] += 1;
+                }
+            }
+            acc[is_write as usize] += 1;
+            llc_hm[!hit as usize] += 1;
+            match dram_node {
+                Some(node) => {
+                    dram_reads[node_idx(node)] += 1;
+                    if self.telemetry_on {
+                        self.batch.latency[BATCH_LAT_DDR + node_idx(node)].record(latency.0);
+                    }
+                }
+                None if self.telemetry_on => self.batch.latency[BATCH_LAT_LLC].record(latency.0),
+                None => {}
+            }
+            now += latency;
+            if word_is_op_end(w) {
+                st.record_op_end(now);
+            }
+        }
+        self.clock.advance(now - now0);
+        st.n += cut as u64;
+        if self.telemetry_on {
+            self.batch.pending = true;
+            self.batch.accesses[0] += acc[0];
+            self.batch.accesses[1] += acc[1];
+            self.batch.llc[0] += llc_hm[0];
+            self.batch.llc[1] += llc_hm[1];
+            self.batch.dram_reads[0] += dram_reads[0];
+            self.batch.dram_reads[1] += dram_reads[1];
+            self.batch.dram_writebacks[0] += dram_wbs[0];
+            self.batch.dram_writebacks[1] += dram_wbs[1];
+            self.batch.snoops[BATCH_SNOOP_READ] += snoops_rw[0];
+            self.batch.snoops[BATCH_SNOOP_WRITEBACK] += snoops_rw[1];
+            self.batch.hinting_faults += fault_vpn.is_some() as u64;
+        }
+
+        // Stage 4: flush the deferred snoops to the tracker devices in
+        // one batched fan-out.
+        let t3 = timing.then(std::time::Instant::now);
+        if !s.snoops.is_empty() {
+            self.controller.snoop_batch(&s.snoops);
+        }
+
+        if let (Some(ts), Some(t0), Some(t1), Some(t2), Some(t3)) =
+            (self.stage_times.as_deref_mut(), t0, t1, t2, t3)
+        {
+            ts.translate_ns += (t1 - t0).as_nanos() as u64;
+            ts.llc_ns += (t2 - t1).as_nanos() as u64;
+            ts.bill_ns += (t3 - t2).as_nanos() as u64;
+            ts.tracker_ns += t3.elapsed().as_nanos() as u64;
+            ts.blocks += 1;
+            ts.staged_accesses += cut as u64;
+        }
+        self.staged = s;
+        (cut, fault_vpn)
+    }
+
     /// Executes accesses from `chunk` starting at index `from`, returning
     /// the index of the first unexecuted access and why the batch paused.
     ///
@@ -941,6 +1282,28 @@ impl System {
                     horizon = horizon.min(at);
                 }
                 if now < horizon {
+                    // Staged fast path: bound how many accesses can start
+                    // before the horizon (each access advances the clock by
+                    // at most `quiet_access_bound`), and run that block
+                    // through the four SoA passes in one go. The bound is
+                    // conservative, so the block may undershoot the horizon
+                    // — the outer loop simply sizes another block.
+                    let avail = (words.len() - idx).min((max_accesses - st.n) as usize);
+                    let block = if horizon.0 == u64::MAX {
+                        avail
+                    } else {
+                        let u = self.quiet_access_bound().0.max(1);
+                        (((horizon.0 - 1 - now.0) / u) + 1).min(avail as u64) as usize
+                    };
+                    if block >= self.config.staged_min_block {
+                        let (done, fault) = self.staged_block(&words[idx..idx + block], st);
+                        idx += done;
+                        executed = true;
+                        if let Some(vpn) = fault {
+                            return (idx, BatchPause::Fault(vpn));
+                        }
+                        continue;
+                    }
                     while idx < words.len() && st.n < max_accesses && self.clock.now() < horizon {
                         let w = words[idx];
                         let out = self
@@ -2280,6 +2643,8 @@ impl System {
             ras,
             evac_span: None,
             evac_exhaustion_noted: misc.evac_exhaustion_noted,
+            staged: StagedScratch::default(),
+            stage_times: None,
             config,
         })
     }

@@ -6,9 +6,10 @@
 //!   driven through the standard machine with the M5 manager and an
 //!   *enabled* telemetry bus, exactly like the golden differential harness.
 //!   This is the instrumented end-to-end pipeline the figure benches pay
-//!   for on every run. Generation (trace recording) and simulation are
-//!   timed separately — `accesses_per_sec` stays simulation-only so the
-//!   number is comparable across baselines.
+//!   for on every run. The simulate side (`drive` + `finish`) is timed
+//!   inside the overlapped driver, so `gen_ns + sim_ns == wall_ns` holds
+//!   exactly and `accesses_per_sec` stays simulation-only — comparable
+//!   across baselines without double-counting the overlapped generation.
 //! * **gen** — workload generation alone: record the trace, then drain it
 //!   through `fill_chunk` into reusable chunks. The producer half of the
 //!   overlapped pipeline, isolated.
@@ -22,35 +23,62 @@
 //! Writes `BENCH_throughput.json` (override with `--out PATH`) so CI can
 //! track the performance trajectory. With `--check BASELINE.json` it
 //! prints a per-suite delta table against the committed baseline and
-//! exits non-zero if any suite regresses more than 20 %.
+//! exits non-zero if any suite regresses more than 20 %. With `--stages`
+//! the staged batch engine's per-pass wall-time breakdown
+//! (translate/LLC/bill/tracker) is recorded per chunked suite.
+//!
+//! JSON schema, one suite object per line (the `--check` parser is
+//! line-based and expects `accesses_per_sec` last on the line):
+//!
+//! ```text
+//! {"name": str,             suite identifier
+//!  "accesses": u64,         simulated accesses per rep
+//!  "wall_ns": u128,         best rep's total wall time; == gen_ns + sim_ns
+//!  "gen_ns": u128,          generation + driver overhead not hidden by overlap
+//!  "sim_ns": u128,          simulate-side wall time (0 for gen-only suites)
+//!  "stages": {...}?,        only with --stages on chunked suites:
+//!                           translate/llc/bill/tracker ns, blocks,
+//!                           staged_accesses
+//!  "accesses_per_sec": f64} accesses / sim_ns (per wall_ns if sim_ns == 0)
+//! ```
 
 use cxl_sim::chunk::AccessChunk;
 use cxl_sim::prelude::*;
-use cxl_sim::system::DEFAULT_CHUNK_ACCESSES;
+use cxl_sim::system::{StageTimes, DEFAULT_CHUNK_ACCESSES};
 use m5_bench::golden::GOLDENS;
-use m5_bench::pipeline::run_overlapped;
+use m5_bench::pipeline::run_overlapped_timed;
 use m5_core::manager::{M5Config, M5Manager};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-/// One measured suite: name, accesses executed, best wall time observed,
-/// and the generate/simulate split of that wall time (either side may be
-/// zero for suites that only exercise one half).
+/// One measured suite: name, accesses executed, and the best rep's wall
+/// time split into its generate/simulate halves (`wall_ns == gen_ns +
+/// sim_ns`; either half may be zero for suites that only exercise one).
 struct Measurement {
     name: String,
     accesses: u64,
-    best_wall_ns: u128,
+    wall_ns: u128,
     gen_ns: u128,
     sim_ns: u128,
+    /// Staged-engine pass breakdown of the best rep (`--stages`, chunked
+    /// suites only).
+    stages: Option<StageTimes>,
 }
 
 impl Measurement {
+    /// Simulation throughput: per simulate-side time when the suite has a
+    /// simulate half, per total wall time for generation-only suites.
     fn accesses_per_sec(&self) -> f64 {
-        if self.best_wall_ns == 0 {
+        let ns = if self.sim_ns > 0 {
+            self.sim_ns
+        } else {
+            self.wall_ns
+        };
+        if ns == 0 {
             return 0.0;
         }
-        self.accesses as f64 / (self.best_wall_ns as f64 / 1e9)
+        self.accesses as f64 / (ns as f64 / 1e9)
     }
 }
 
@@ -61,35 +89,39 @@ fn arg_value(flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn golden_suite(accesses: u64, reps: u32) -> Vec<Measurement> {
+fn golden_suite(accesses: u64, reps: u32, stages: bool) -> Vec<Measurement> {
     GOLDENS
         .iter()
         .map(|g| {
             let spec = g.benchmark.spec();
-            let mut best_sim = u128::MAX;
-            let mut best_gen = u128::MAX;
+            // (sim, wall, stage breakdown) of the rep with the best
+            // simulate time — wall and gen are taken from the same rep so
+            // the wall = gen + sim invariant holds per measurement.
+            let mut best: Option<(u128, u128, Option<StageTimes>)> = None;
             for _ in 0..reps {
                 let (mut sys, region) = m5_bench::standard_system(&spec);
                 sys.install_telemetry(Telemetry::enabled());
+                if stages {
+                    sys.enable_stage_timing();
+                }
                 let t0 = Instant::now();
                 let mut wl = spec.build(region.base, accesses, g.seed);
-                let gen = t0.elapsed().as_nanos();
                 let mut m5 = M5Manager::new(M5Config::default());
-                let t1 = Instant::now();
-                let report = run_overlapped(&mut sys, &mut wl, &mut m5, accesses);
-                let sim = t1.elapsed().as_nanos();
+                let (report, sim) = run_overlapped_timed(&mut sys, &mut wl, &mut m5, accesses);
+                let wall = t0.elapsed().as_nanos();
                 assert_eq!(report.accesses, accesses, "workload ended early");
-                best_sim = best_sim.min(sim);
-                best_gen = best_gen.min(gen);
+                if best.as_ref().is_none_or(|(s, _, _)| sim < *s) {
+                    best = Some((sim, wall, sys.stage_times().copied()));
+                }
             }
+            let (sim, wall, st) = best.expect("reps >= 1");
             Measurement {
                 name: format!("golden_{}", g.name),
                 accesses,
-                // accesses_per_sec is simulation-only, like the pre-split
-                // baselines (generation overlaps with it in the driver).
-                best_wall_ns: best_sim,
-                gen_ns: best_gen,
-                sim_ns: best_sim,
+                wall_ns: wall,
+                gen_ns: wall - sim,
+                sim_ns: sim,
+                stages: st,
             }
         })
         .collect()
@@ -126,9 +158,10 @@ fn gen_suite(accesses: u64, reps: u32) -> Vec<Measurement> {
             Measurement {
                 name: format!("gen_{}", g.name),
                 accesses,
-                best_wall_ns: best,
+                wall_ns: best,
                 gen_ns: best,
                 sim_ns: 0,
+                stages: None,
             }
         })
         .collect()
@@ -140,26 +173,33 @@ fn gen_suite(accesses: u64, reps: u32) -> Vec<Measurement> {
 /// (window rollovers included, queueing excluded), so the regression gate
 /// covers the loaded-latency path with numbers that stay comparable
 /// across machines regardless of contention parameters.
-fn loaded_off_suite(accesses: u64, reps: u32) -> Measurement {
+fn loaded_off_suite(accesses: u64, reps: u32, stages: bool) -> Measurement {
     let g = &GOLDENS[2];
     let spec = g.benchmark.spec();
-    let mut best = u128::MAX;
+    let mut best: Option<(u128, Option<StageTimes>)> = None;
     for _ in 0..reps {
         let (mut sys, region) = m5_bench::standard_system(&spec);
+        if stages {
+            sys.enable_stage_timing();
+        }
         let mut wl = spec.build(region.base, accesses, g.seed);
         let mut daemon = m5_bench::loaded::MonitorOnly::new(Nanos::from_micros(100));
         let t0 = Instant::now();
         let report = cxl_sim::system::run(&mut sys, &mut wl, &mut daemon, accesses);
         let wall = t0.elapsed().as_nanos();
         assert_eq!(report.accesses, accesses, "workload ended early");
-        best = best.min(wall);
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, sys.stage_times().copied()));
+        }
     }
+    let (wall, st) = best.expect("reps >= 1");
     Measurement {
         name: "loaded_off".into(),
         accesses,
-        best_wall_ns: best,
+        wall_ns: wall,
         gen_ns: 0,
-        sim_ns: best,
+        sim_ns: wall,
+        stages: st,
     }
 }
 
@@ -191,24 +231,37 @@ fn micro_suite(accesses: u64, reps: u32) -> Measurement {
     Measurement {
         name: "micro_random".into(),
         accesses,
-        best_wall_ns: best,
+        wall_ns: best,
         gen_ns: 0,
         sim_ns: best,
+        stages: None,
     }
 }
 
 fn render_json(ms: &[Measurement]) -> String {
     let mut out = String::from("{\n  \"suites\": [\n");
     for (i, m) in ms.iter().enumerate() {
+        // `stages` (when present) must come before `accesses_per_sec`:
+        // the line-based `--check` parser takes everything after the
+        // `accesses_per_sec` key up to the line's closing braces.
+        let stages = m.stages.map_or(String::new(), |s| {
+            format!(
+                "\"stages\": {{\"translate_ns\": {}, \"llc_ns\": {}, \
+                 \"bill_ns\": {}, \"tracker_ns\": {}, \"blocks\": {}, \
+                 \"staged_accesses\": {}}}, ",
+                s.translate_ns, s.llc_ns, s.bill_ns, s.tracker_ns, s.blocks, s.staged_accesses
+            )
+        });
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"accesses\": {}, \"wall_ns\": {}, \
-             \"gen_ns\": {}, \"sim_ns\": {}, \
+             \"gen_ns\": {}, \"sim_ns\": {}, {}\
              \"accesses_per_sec\": {:.0}}}{}\n",
             m.name,
             m.accesses,
-            m.best_wall_ns,
+            m.wall_ns,
             m.gen_ns,
             m.sim_ns,
+            stages,
             m.accesses_per_sec(),
             if i + 1 < ms.len() { "," } else { "" }
         ));
@@ -297,25 +350,33 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_throughput.json".into());
+    let stages = std::env::args().any(|a| a == "--stages");
 
     m5_bench::banner(
         "throughput",
         "wall-clock accesses/sec of the access pipeline",
     );
-    let mut ms = golden_suite(accesses, reps);
+    let mut ms = golden_suite(accesses, reps, stages);
     ms.extend(gen_suite(accesses, reps));
-    ms.push(loaded_off_suite(accesses, reps));
+    ms.push(loaded_off_suite(accesses, reps, stages));
     ms.push(micro_suite(accesses, reps));
     for m in &ms {
         println!(
             "{:<16} {:>12} accesses  {:>12} ns (gen {:>12} / sim {:>12})  {:>10.2} M accesses/s",
             m.name,
             m.accesses,
-            m.best_wall_ns,
+            m.wall_ns,
             m.gen_ns,
             m.sim_ns,
             m.accesses_per_sec() / 1e6
         );
+        if let Some(s) = m.stages {
+            println!(
+                "{:<16} stages: translate {} ns / llc {} ns / bill {} ns / \
+                 tracker {} ns over {} blocks ({} staged accesses)",
+                "", s.translate_ns, s.llc_ns, s.bill_ns, s.tracker_ns, s.blocks, s.staged_accesses
+            );
+        }
     }
 
     let json = render_json(&ms);

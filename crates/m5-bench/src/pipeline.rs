@@ -32,6 +32,20 @@ where
     run_overlapped_chunked(sys, workload, daemon, max_accesses, DEFAULT_CHUNK_ACCESSES)
 }
 
+/// [`run_overlapped_chunked_timed`] with the default chunk capacity.
+pub fn run_overlapped_timed<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+) -> (RunReport, u128)
+where
+    W: AccessStream + Send + ?Sized,
+    D: MigrationDaemon + Send + ?Sized,
+{
+    run_overlapped_chunked_timed(sys, workload, daemon, max_accesses, DEFAULT_CHUNK_ACCESSES)
+}
+
 /// Drives `workload` through `sys` under `daemon`, overlapping chunk
 /// generation with simulation.
 ///
@@ -50,9 +64,34 @@ where
     W: AccessStream + Send + ?Sized,
     D: MigrationDaemon + Send + ?Sized,
 {
+    run_overlapped_chunked_timed(sys, workload, daemon, max_accesses, chunk_capacity).0
+}
+
+/// [`run_overlapped_chunked`] that additionally reports the wall-clock
+/// nanoseconds spent on the *simulate* side (`drive` + `finish`), measured
+/// around each chunk hand-off.
+///
+/// Generation runs concurrently on the other `rayon::join` arm, so
+/// `total wall − simulate ns` is the generation cost that the overlap
+/// could **not** hide (plus the driver's own swap overhead) — exactly the
+/// split the throughput bench wants for a coherent `gen + sim = wall`
+/// accounting. Two monotonic-clock reads per multi-thousand-access chunk
+/// are noise next to the chunk's simulation cost.
+pub fn run_overlapped_chunked_timed<W, D>(
+    sys: &mut System,
+    workload: &mut W,
+    daemon: &mut D,
+    max_accesses: u64,
+    chunk_capacity: usize,
+) -> (RunReport, u128)
+where
+    W: AccessStream + Send + ?Sized,
+    D: MigrationDaemon + Send + ?Sized,
+{
     let mut run = ChunkedRun::begin(sys, daemon);
     let mut front = AccessChunk::with_capacity(chunk_capacity);
     let mut back = AccessChunk::with_capacity(chunk_capacity);
+    let mut sim_ns: u128 = 0;
 
     front.set_limit(max_accesses.min(chunk_capacity as u64) as usize);
     workload.fill_chunk(&mut front);
@@ -61,8 +100,12 @@ where
         // look-ahead fill is capped so it never generates past the budget
         // by more than the in-flight chunk.
         let ahead = run.accesses() + front.len() as u64;
-        let (_, generated) = rayon::join(
-            || run.drive(sys, daemon, &front, max_accesses),
+        let (drove_ns, generated) = rayon::join(
+            || {
+                let t = std::time::Instant::now();
+                run.drive(sys, daemon, &front, max_accesses);
+                t.elapsed().as_nanos()
+            },
             || {
                 back.clear();
                 let left = max_accesses.saturating_sub(ahead);
@@ -71,9 +114,13 @@ where
             },
         );
         let _ = generated;
+        sim_ns += drove_ns;
         std::mem::swap(&mut front, &mut back);
     }
-    run.finish(sys, daemon)
+    let t = std::time::Instant::now();
+    let report = run.finish(sys, daemon);
+    sim_ns += t.elapsed().as_nanos();
+    (report, sim_ns)
 }
 
 #[cfg(test)]

@@ -1,0 +1,201 @@
+//! Property net for the staged SoA access engine: on *random* access
+//! streams — not just the golden workloads — the chunked driver (which
+//! dispatches staged translate/LLC/bill/tracker blocks whenever the
+//! injector is quiescent) must stay byte-identical to the
+//! `run_per_access` oracle, with fault windows active and the contention
+//! model enabled, and a mid-chunk checkpoint/restore split must land on
+//! the exact same final state as the run that never stopped.
+//!
+//! The deterministic suites (`chunk_determinism.rs`, `checkpoint.rs`)
+//! pin the golden workloads; this file fuzzes the space between them:
+//! arbitrary page-collision patterns, write/op-end mixes, chunk
+//! capacities that misalign with the staged block bound, and split
+//! points that cut a chunk (and the staged block inside it) anywhere.
+
+use cxl_sim::faults::{FaultKind, FaultPlan};
+use cxl_sim::prelude::*;
+use cxl_sim::system::{run_chunked, run_per_access, Region};
+use m5_baselines::anb::{Anb, AnbConfig};
+use m5_bench::checkpoint::{capture, drive_to, resume};
+use m5_bench::golden;
+use m5_core::manager::{M5Config, M5Manager};
+use m5_workloads::access::{AccessRecorder, ReplayWorkload};
+use proptest::prelude::*;
+
+/// A fault plan whose spike/stall/poison/pressure windows all land inside
+/// even the shortest generated run (a few hundred accesses simulate tens
+/// of microseconds on the scaled machine).
+fn active_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with(
+            Nanos::from_micros(1),
+            FaultKind::LatencySpike {
+                extra: Nanos::from_micros(1),
+                duration: Nanos::from_micros(3),
+            },
+        )
+        .with(
+            Nanos::from_micros(5),
+            FaultKind::ControllerStall {
+                duration: Nanos::from_micros(2),
+            },
+        )
+        .with(Nanos::from_micros(8), FaultKind::PoisonLine { reads: 2 })
+        .with(
+            Nanos::from_micros(10),
+            FaultKind::DdrPressure {
+                duration: Nanos::from_micros(4),
+            },
+        )
+}
+
+/// A contended machine executing `plan`, with the workload's pages on
+/// CXL (so snoops, contention billing, and migration all have traffic).
+fn contended_system(pages: u64, plan: &FaultPlan) -> (System, Region) {
+    let config = SystemConfig::scaled_default()
+        .with_cxl_frames(pages + 64)
+        .with_ddr_frames((pages / 2).max(2))
+        .with_contention(ContentionConfig::enabled_default().with_cxl_background(0.6))
+        // Force even the shortest quiet blocks through the staged passes
+        // so these properties exercise the staged engine, not the scalar
+        // fallback the default threshold would pick for small streams.
+        .with_staged_min_block(4);
+    let mut sys = System::with_fault_plan(config, plan);
+    let region = sys
+        .alloc_region(pages, Placement::AllOnCxl)
+        .expect("CXL sized to fit");
+    (sys, region)
+}
+
+/// Replay workload over `region` built from raw (offset, write, op-end)
+/// triples.
+fn replay(ops: &[(u64, bool, bool)], pages: u64, region: &Region) -> ReplayWorkload {
+    let mut rec = AccessRecorder::with_capacity(ops.len());
+    let span = pages * 4096;
+    for &(off, w, end) in ops {
+        rec.push(off % span, w, end);
+    }
+    rec.into_workload("staged-prop", region.base)
+}
+
+/// Full-fidelity observation: rendered telemetry snapshot + report debug.
+fn snapshot(sys: &mut System, report: &RunReport) -> (String, String) {
+    sys.telemetry_mut().flush();
+    let snap = golden::render("staged-prop", &sys.telemetry().snapshot());
+    (snap, format!("{report:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chunked (staged) ≡ per-access oracle on random streams, faults and
+    /// contention live, under both the M5 manager and the hinting-fault
+    /// heavy ANB daemon, at chunk capacities that slice staged blocks at
+    /// awkward points.
+    #[test]
+    fn staged_chunked_matches_per_access_oracle(
+        ops in prop::collection::vec(
+            (any::<u64>(), prop::bool::weighted(0.3), prop::bool::weighted(0.05)),
+            64..1024,
+        ),
+        pages in 8u64..48,
+        cap_idx in 0usize..5,
+        use_anb in any::<bool>(),
+    ) {
+        let cap = [3usize, 7, 64, 509, 4096][cap_idx];
+        let plan = active_plan();
+        let accesses = ops.len() as u64;
+
+        let oracle = {
+            let (mut sys, region) = contended_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            let mut wl = replay(&ops, pages, &region);
+            let report = if use_anb {
+                let mut d = Anb::new(AnbConfig::default());
+                run_per_access(&mut sys, &mut wl, &mut d, accesses)
+            } else {
+                let mut d = M5Manager::new(M5Config::default());
+                run_per_access(&mut sys, &mut wl, &mut d, accesses)
+            };
+            snapshot(&mut sys, &report)
+        };
+
+        let staged = {
+            let (mut sys, region) = contended_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            let mut wl = replay(&ops, pages, &region);
+            let report = if use_anb {
+                let mut d = Anb::new(AnbConfig::default());
+                run_chunked(&mut sys, &mut wl, &mut d, accesses, cap)
+            } else {
+                let mut d = M5Manager::new(M5Config::default());
+                run_chunked(&mut sys, &mut wl, &mut d, accesses, cap)
+            };
+            snapshot(&mut sys, &report)
+        };
+
+        prop_assert_eq!(&oracle.1, &staged.1, "report diverged (cap={})", cap);
+        prop_assert_eq!(&oracle.0, &staged.0, "telemetry diverged (cap={})", cap);
+    }
+
+    /// Checkpointing at an arbitrary access index — almost always inside
+    /// a chunk, and usually inside a staged block — and restoring into a
+    /// fresh machine must produce the byte-identical final checkpoint,
+    /// report, and telemetry of the uninterrupted run.
+    #[test]
+    fn staged_restore_equals_continue_at_any_split(
+        ops in prop::collection::vec(
+            (any::<u64>(), prop::bool::weighted(0.3), prop::bool::weighted(0.05)),
+            128..1024,
+        ),
+        pages in 8u64..48,
+        split_num in 1u64..99,
+    ) {
+        let plan = active_plan();
+        let accesses = ops.len() as u64;
+        let split = (accesses * split_num / 100).max(1);
+
+        let uninterrupted = {
+            let (mut sys, region) = contended_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            let mut wl = replay(&ops, pages, &region);
+            let mut m5 = M5Manager::new(M5Config::default());
+            let mut run = ChunkedRun::begin(&mut sys, &mut m5);
+            drive_to(&mut sys, &mut m5, &mut run, &mut wl, accesses);
+            let cp = capture(&mut sys, &m5, &run, &wl).encode();
+            let report = run.finish(&mut sys, &m5);
+            let (snap, rep) = snapshot(&mut sys, &report);
+            (cp, snap, rep)
+        };
+
+        let restored = {
+            let (mut sys, region) = contended_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            let mut wl = replay(&ops, pages, &region);
+            let mut m5 = M5Manager::new(M5Config::default());
+            let mut run = ChunkedRun::begin(&mut sys, &mut m5);
+            drive_to(&mut sys, &mut m5, &mut run, &mut wl, split);
+            prop_assert_eq!(run.accesses(), split, "split point not reached");
+            let mid = capture(&mut sys, &m5, &run, &wl).encode();
+            let config = sys.config().clone();
+            drop((sys, wl, m5, run));
+
+            let cp = Checkpoint::decode(&mid).expect("mid-run snapshot decodes");
+            let (_, region2) = contended_system(pages, &plan);
+            prop_assert_eq!(region2.base, region.base, "deterministic layout");
+            let mut wl = replay(&ops, pages, &region2);
+            let resumed = resume(&cp, config, &plan, M5Config::default(), &mut wl)
+                .expect("mid-run snapshot restores");
+            let (mut sys, mut m5, mut run) = (resumed.sys, resumed.m5, resumed.run);
+            drive_to(&mut sys, &mut m5, &mut run, &mut wl, accesses);
+            let cp = capture(&mut sys, &m5, &run, &wl).encode();
+            let report = run.finish(&mut sys, &m5);
+            let (snap, rep) = snapshot(&mut sys, &report);
+            (cp, snap, rep)
+        };
+
+        prop_assert_eq!(&uninterrupted.2, &restored.2, "report diverged at split {}", split);
+        prop_assert_eq!(&uninterrupted.1, &restored.1, "telemetry diverged at split {}", split);
+        prop_assert_eq!(&uninterrupted.0, &restored.0, "final checkpoints differ at split {}", split);
+    }
+}

@@ -1,0 +1,129 @@
+//! Batch-API equivalence: every native `record_batch`/`offer_batch`/
+//! `update_batch` fast path must leave its tracker in **exactly** the
+//! state the one-at-a-time loop produces — same counters, same CAM
+//! entries, same scratch-independent observable state. The staged access
+//! engine feeds trackers through these batch entry points, so any
+//! divergence here would silently break the simulator's byte-identical
+//! determinism guarantees.
+//!
+//! Address streams are drawn from a small universe (heavy collisions,
+//! repeated keys — the regime where CM-sketch lane ordering and CAM
+//! min-replacement tie-breaks could plausibly diverge) and the batch is
+//! additionally split at an arbitrary point to check that batching is
+//! associative with sequential state.
+
+use m5_trackers::cam::SortedCam;
+use m5_trackers::mithril::{GroupedSpaceSaving, MithrilTopK};
+use m5_trackers::sketch::CmSketch;
+use m5_trackers::topk::{CmSketchTopK, TopKAlgorithm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CM-sketch: one `update_batch` call == the `update` loop, including
+    /// the returned post-increment estimates, at any split point.
+    #[test]
+    fn cm_sketch_update_batch_matches_loop(
+        addrs in prop::collection::vec(0u64..512, 1..600),
+        split in 0usize..600,
+    ) {
+        let mut looped = CmSketch::new(4, 64, 0xfeed);
+        let mut batched = looped.clone();
+        let loop_ests: Vec<u64> = addrs.iter().map(|&a| looped.update(a)).collect();
+
+        let split = split.min(addrs.len());
+        let mut batch_ests: Vec<u64> = Vec::new();
+        let mut out = Vec::new();
+        for half in [&addrs[..split], &addrs[split..]] {
+            if half.is_empty() {
+                continue;
+            }
+            batched.update_batch(half, &mut out);
+            batch_ests.extend(out.iter().map(|&e| e as u64));
+        }
+        prop_assert_eq!(&loop_ests, &batch_ests, "post-increment estimates diverged");
+        prop_assert_eq!(format!("{looped:?}"), format!("{batched:?}"));
+    }
+
+    /// Sorted CAM: `offer_batch` (with its cached-min fast reject) applies
+    /// exactly the offers the sequential `offer` loop applies.
+    #[test]
+    fn cam_offer_batch_matches_loop(
+        pairs in prop::collection::vec((0u64..64, 1u64..32), 1..300),
+        k in 1usize..12,
+    ) {
+        // The contract: offer_batch == the offer loop with the caller-side
+        // `count > min_count()` fast-reject (the shape CmSketchTopK uses).
+        let mut looped = SortedCam::new(k);
+        let mut batched = SortedCam::new(k);
+        let applied_loop = pairs
+            .iter()
+            .filter(|&&(a, c)| c > looped.min_count() && looped.offer(a, c))
+            .count();
+        let applied_batch = batched.offer_batch(pairs.iter().copied());
+        prop_assert_eq!(applied_loop, applied_batch);
+        prop_assert_eq!(looped.entries(), batched.entries());
+
+        // And the stronger state claim behind the fast-reject: offering
+        // every pair unconditionally lands on the same entries (a rejected
+        // offer is a provable state no-op, hit-refresh included).
+        let mut plain = SortedCam::new(k);
+        for &(a, c) in &pairs {
+            plain.offer(a, c);
+        }
+        prop_assert_eq!(plain.entries(), batched.entries());
+    }
+
+    /// CmSketchTopK end to end: the native `record_batch` (batched sketch
+    /// lanes + deferred CAM offers) == the default per-access loop.
+    #[test]
+    fn cm_topk_record_batch_matches_loop(
+        addrs in prop::collection::vec(0u64..256, 1..500),
+        split in 0usize..500,
+    ) {
+        let mut looped = CmSketchTopK::new(4, 32, 8, 7);
+        let mut batched = looped.clone();
+        for &a in &addrs {
+            looped.record(a);
+        }
+        let split = split.min(addrs.len());
+        batched.record_batch(&addrs[..split]);
+        batched.record_batch(&addrs[split..]);
+        prop_assert_eq!(looped.top_k(), batched.top_k());
+        prop_assert_eq!(format!("{looped:?}"), format!("{batched:?}"));
+    }
+
+    /// Grouped space-saving (mithril): precomputed group indices must not
+    /// change tag-hit / free-slot / min-replace decisions.
+    #[test]
+    fn grouped_ss_update_batch_matches_loop(
+        addrs in prop::collection::vec(0u64..128, 1..400),
+    ) {
+        let mut looped = GroupedSpaceSaving::new(8, 4, 99);
+        let mut batched = looped.clone();
+        for &a in &addrs {
+            looped.update(a);
+        }
+        batched.update_batch(&addrs);
+        prop_assert_eq!(format!("{looped:?}"), format!("{batched:?}"));
+    }
+
+    /// MithrilTopK through the trait entry point.
+    #[test]
+    fn mithril_record_batch_matches_loop(
+        addrs in prop::collection::vec(0u64..96, 1..400),
+        split in 0usize..400,
+    ) {
+        let mut looped = MithrilTopK::new(8, 4, 6, 3);
+        let mut batched = looped.clone();
+        for &a in &addrs {
+            looped.record(a);
+        }
+        let split = split.min(addrs.len());
+        batched.record_batch(&addrs[..split]);
+        batched.record_batch(&addrs[split..]);
+        prop_assert_eq!(looped.top_k(), batched.top_k());
+        prop_assert_eq!(format!("{looped:?}"), format!("{batched:?}"));
+    }
+}
