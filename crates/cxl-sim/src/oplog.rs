@@ -1,0 +1,340 @@
+//! Logical-time operation log for the core-sharded simulation driver.
+//!
+//! The sharded staged engine (`System::staged_block_sharded`) partitions a
+//! quiet block's work by address — access-index slices for the translate
+//! gather, contiguous LLC set ranges for the probe — and runs each
+//! partition on a worker from the vendored work-queue pool. Workers never
+//! touch shared state directly; anything with cross-shard effect is
+//! *appended to a lane* of an [`OpLog`], stamped with its **logical time**
+//! (the access index within the block), and applied at the next sync
+//! point by a single sequential pass.
+//!
+//! ## Sync-point protocol
+//!
+//! 1. **Fan-out.** The coordinator fixes a [`Partition`] of the work and
+//!    hands each worker its slice plus an empty [`Lane`]. A worker may
+//!    only read shared state that is frozen for the block (the page
+//!    table's translations, node latencies) and only write state it
+//!    exclusively owns (its `split_at_mut` slice of a scratch array, its
+//!    LLC set range).
+//! 2. **Log.** Effects that cross shard boundaries — a page-run's TLB and
+//!    PTE-flag evolution, a probe outcome destined for the global billing
+//!    pass — are pushed into the worker's lane in slice order, stamped
+//!    with the originating access index.
+//! 3. **Sync.** After the barrier, the coordinator replays the merged log
+//!    in ascending logical time ([`OpLog::iter_in_time`]) or scatters
+//!    lane payloads back to their dense positions (disjoint by
+//!    construction). Migrations, epoch and bandwidth-window rollover,
+//!    fault windows, RAS service, and checkpoint capture all happen
+//!    *between* blocks, where no lane is in flight — they observe the
+//!    same merged state a sequential run would have produced.
+//!
+//! Because lane contents depend only on the worker's input slice (not on
+//! scheduling), and the replay order depends only on the logical-time
+//! stamps, the merged effect is deterministic: byte-identical to the
+//! sequential engine no matter how the OS schedules workers, which is the
+//! property the sharded-vs-sequential differential suites pin.
+
+use std::ops::Range;
+
+/// An even partition of `0..len` into `shards` contiguous ranges: the
+/// first `len % shards` ranges get one extra element, so range sizes
+/// differ by at most one and depend only on `(len, shards)` — never on
+/// scheduling. Both the gather partition (access indices) and the LLC
+/// probe partition (set indices) use this shape, so a shard count fully
+/// determines who owns what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    len: usize,
+    shards: usize,
+    /// Base range size (`len / shards`).
+    q: usize,
+    /// Number of leading ranges sized `q + 1` (`len % shards`).
+    r: usize,
+}
+
+impl Partition {
+    /// Partitions `0..len` into `shards` contiguous ranges (empty ranges
+    /// are allowed when `len < shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(len: usize, shards: usize) -> Partition {
+        assert!(shards > 0, "partition needs at least one shard");
+        Partition {
+            len,
+            shards,
+            q: len / shards,
+            r: len % shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total length partitioned.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the partitioned range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The contiguous range owned by shard `k`.
+    pub fn range(&self, k: usize) -> Range<usize> {
+        debug_assert!(k < self.shards);
+        let start = k * self.q + k.min(self.r);
+        let end = start + self.q + usize::from(k < self.r);
+        start..end
+    }
+
+    /// The shard owning element `i` (inverse of [`Partition::range`]).
+    pub fn shard_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        let fat = self.r * (self.q + 1);
+        if i < fat {
+            i / (self.q + 1)
+        } else {
+            // Shards past the fat prefix are exactly `q` wide; `q` is
+            // nonzero here because a fat prefix short of `i` implies
+            // `len > r`, i.e. `q >= 1`.
+            self.r + (i - fat) / self.q
+        }
+    }
+
+    /// Iterates over every shard's range, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shards).map(|k| self.range(k))
+    }
+}
+
+/// One shard's append-only operation lane: parallel arrays of logical
+/// timestamps and payloads, pushed in ascending time order.
+#[derive(Clone, Debug)]
+pub struct Lane<T> {
+    /// Logical time (access index) of each operation.
+    pub time: Vec<u32>,
+    /// Operation payloads, aligned with `time`.
+    pub ops: Vec<T>,
+}
+
+impl<T> Default for Lane<T> {
+    fn default() -> Lane<T> {
+        Lane::new()
+    }
+}
+
+impl<T> Lane<T> {
+    /// An empty lane.
+    pub fn new() -> Lane<T> {
+        Lane {
+            time: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an operation stamped `time`. Callers must push in
+    /// ascending time order (workers scan their slice left to right, so
+    /// this is the natural order).
+    #[inline]
+    pub fn push(&mut self, time: u32, op: T) {
+        debug_assert!(
+            self.time.last().is_none_or(|&t| t <= time),
+            "lane pushes must be time-ordered"
+        );
+        self.time.push(time);
+        self.ops.push(op);
+    }
+
+    /// Number of logged operations.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Drops all operations, keeping capacity.
+    pub fn clear(&mut self) {
+        self.time.clear();
+        self.ops.clear();
+    }
+}
+
+/// A per-shard set of [`Lane`]s with a deterministic merged view.
+#[derive(Clone, Debug)]
+pub struct OpLog<T> {
+    lanes: Vec<Lane<T>>,
+}
+
+impl<T> OpLog<T> {
+    /// An empty log with `shards` lanes.
+    pub fn new(shards: usize) -> OpLog<T> {
+        OpLog {
+            lanes: (0..shards).map(|_| Lane::new()).collect(),
+        }
+    }
+
+    /// Adopts lanes produced elsewhere (e.g. returned from workers).
+    pub fn from_lanes(lanes: Vec<Lane<T>>) -> OpLog<T> {
+        OpLog { lanes }
+    }
+
+    /// Appends an operation to shard `k`'s lane.
+    #[inline]
+    pub fn push(&mut self, k: usize, time: u32, op: T) {
+        self.lanes[k].push(time, op);
+    }
+
+    /// The lanes, in shard order.
+    pub fn lanes(&self) -> &[Lane<T>] {
+        &self.lanes
+    }
+
+    /// The lanes, mutably (workers fill them through disjoint borrows).
+    pub fn lanes_mut(&mut self) -> &mut [Lane<T>] {
+        &mut self.lanes
+    }
+
+    /// Total operations across all lanes.
+    pub fn total_len(&self) -> usize {
+        self.lanes.iter().map(Lane::len).sum()
+    }
+
+    /// Clears every lane, keeping capacity.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+    }
+
+    /// Merged view: every logged operation in ascending logical time,
+    /// ties broken by lane index (shards own disjoint time slices, so
+    /// ties cannot arise from a well-formed gather — the tiebreak just
+    /// keeps the order total). This is the sync-point replay order, and
+    /// it is independent of worker scheduling by construction.
+    pub fn iter_in_time(&self) -> InTime<'_, T> {
+        InTime {
+            lanes: &self.lanes,
+            cursor: vec![0; self.lanes.len()],
+        }
+    }
+}
+
+/// Iterator over an [`OpLog`]'s operations in ascending logical time
+/// (a k-way merge over the lanes' cursors).
+#[derive(Debug)]
+pub struct InTime<'a, T> {
+    lanes: &'a [Lane<T>],
+    cursor: Vec<usize>,
+}
+
+impl<'a, T> Iterator for InTime<'a, T> {
+    type Item = (u32, &'a T);
+
+    fn next(&mut self) -> Option<(u32, &'a T)> {
+        let mut best: Option<(u32, usize)> = None;
+        for (k, lane) in self.lanes.iter().enumerate() {
+            if let Some(&t) = lane.time.get(self.cursor[k]) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, k));
+                }
+            }
+        }
+        let (t, k) = best?;
+        let op = &self.lanes[k].ops[self.cursor[k]];
+        self.cursor[k] += 1;
+        Some((t, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_tiles_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 1000, 4097] {
+            for shards in [1usize, 2, 3, 5, 8, 16] {
+                let p = Partition::new(len, shards);
+                let mut next = 0;
+                for (k, r) in p.ranges().enumerate() {
+                    assert_eq!(r.start, next, "len={len} shards={shards} k={k}");
+                    assert!(r.end - r.start <= len / shards + 1);
+                    for i in r.clone() {
+                        assert_eq!(p.shard_of(i), k, "len={len} shards={shards} i={i}");
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sizes_differ_by_at_most_one() {
+        let p = Partition::new(10, 4);
+        let sizes: Vec<usize> = p.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        Partition::new(4, 0);
+    }
+
+    #[test]
+    fn merge_is_time_ordered_regardless_of_lane_layout() {
+        // The same operation set split across lanes two different ways
+        // must replay identically.
+        let mut a = OpLog::new(2);
+        a.push(0, 0, 'x');
+        a.push(0, 2, 'y');
+        a.push(1, 5, 'z');
+        let mut b = OpLog::new(3);
+        b.push(2, 5, 'z');
+        b.push(0, 0, 'x');
+        b.push(1, 2, 'y');
+        let flat = |log: &OpLog<char>| -> Vec<(u32, char)> {
+            log.iter_in_time().map(|(t, &c)| (t, c)).collect()
+        };
+        assert_eq!(flat(&a), vec![(0, 'x'), (2, 'y'), (5, 'z')]);
+        assert_eq!(flat(&a), flat(&b));
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_lane_index() {
+        let mut log = OpLog::new(2);
+        log.push(1, 7, 'b');
+        log.push(0, 7, 'a');
+        let order: Vec<char> = log.iter_in_time().map(|(_, &c)| c).collect();
+        assert_eq!(order, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn clear_keeps_lane_count() {
+        let mut log = OpLog::new(4);
+        log.push(3, 1, 9u64);
+        assert_eq!(log.total_len(), 1);
+        log.clear();
+        assert_eq!(log.total_len(), 0);
+        assert_eq!(log.lanes().len(), 4);
+    }
+
+    #[test]
+    fn from_lanes_round_trips() {
+        let mut lane = Lane::new();
+        lane.push(4, "op");
+        let log = OpLog::from_lanes(vec![lane, Lane::new()]);
+        assert_eq!(log.total_len(), 1);
+        assert_eq!(log.iter_in_time().next(), Some((4, &"op")));
+    }
+}

@@ -1,0 +1,87 @@
+//! Sharded-run drivers and their byte-identity evidence bundles.
+//!
+//! The simulator's core-sharded engine (`cxl_sim::oplog` plus the
+//! sharded staged block in `cxl_sim::system`) promises that a run at any
+//! shard count is **byte-identical** to the sequential driver. This
+//! module turns that promise into something a test or bench can hold in
+//! its hands: [`observe_golden`] drives one golden workload to completion
+//! at a chosen shard count and returns a [`RunEvidence`] — the rendered
+//! telemetry snapshot, the debug-formatted [`RunReport`], and the encoded
+//! run checkpoint. Two evidences being equal means every counter, gauge,
+//! histogram percentile, report field, and checkpointed byte of machine
+//! state agreed; `tests/sharded_determinism.rs` asserts exactly that
+//! across shard counts × goldens × (faults, contention).
+//!
+//! Shard count is a *runtime* knob ([`System::set_sim_shards`]): it is
+//! not part of the config fingerprint and never appears in a checkpoint,
+//! so a run checkpointed at 8 shards restores and resumes at 1 (or any
+//! other count) with no compatibility shim.
+
+use crate::golden::GoldenSpec;
+use cxl_sim::faults::FaultPlan;
+use cxl_sim::prelude::*;
+
+/// Everything observable about one finished golden run, in byte-stable
+/// form. Field-by-field equality between two evidences is the sharded ≡
+/// sequential contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunEvidence {
+    /// Canonical golden-format telemetry snapshot (every counter, gauge,
+    /// and histogram the run published).
+    pub snapshot: String,
+    /// Debug-formatted [`RunReport`].
+    pub report: String,
+    /// Encoded end-of-run checkpoint: the full machine + manager +
+    /// driver + workload-cursor image.
+    pub checkpoint: Vec<u8>,
+}
+
+/// Runs one golden workload to completion at `shards` simulation shards
+/// with the chunked driver, returning the full evidence bundle.
+///
+/// `plan` and `background` select the hostile variants: a fault plan to
+/// execute and an optional contention background load. `shards == 1`
+/// takes the sequential staged path exactly — it is the reference the
+/// sharded runs are compared against.
+pub fn observe_golden(
+    g: &GoldenSpec,
+    shards: usize,
+    plan: &FaultPlan,
+    background: Option<f64>,
+) -> RunEvidence {
+    let (mut sys, mut wl, mut m5) = crate::checkpoint::golden_parts_faulted(g, plan, background);
+    sys.set_sim_shards(shards);
+    let mut run = ChunkedRun::begin(&mut sys, &mut m5);
+    crate::checkpoint::drive_to(&mut sys, &mut m5, &mut run, &mut wl, g.accesses);
+    let checkpoint = crate::checkpoint::capture(&mut sys, &m5, &run, &wl).encode();
+    let report = run.finish(&mut sys, &m5);
+    sys.telemetry_mut().flush();
+    let snapshot = crate::golden::render(g.name, &sys.telemetry().snapshot());
+    RunEvidence {
+        snapshot,
+        report: format!("{report:?}"),
+        checkpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GOLDENS;
+
+    /// Smoke: a short sharded golden run completes and its evidence
+    /// matches the sequential reference. The full matrix lives in
+    /// `tests/sharded_determinism.rs`.
+    #[test]
+    fn sharded_golden_run_matches_sequential_reference() {
+        let g = GoldenSpec {
+            accesses: 20_000,
+            ..GOLDENS[0]
+        };
+        let reference = observe_golden(&g, 1, &FaultPlan::none(), None);
+        let sharded = observe_golden(&g, 4, &FaultPlan::none(), None);
+        assert_eq!(sharded.report, reference.report);
+        assert_eq!(sharded.snapshot, reference.snapshot);
+        assert_eq!(sharded.checkpoint, reference.checkpoint);
+    }
+}

@@ -1,0 +1,231 @@
+//! Core-sharded engine determinism: a run split across N simulation
+//! shards must be **byte-identical** to the sequential driver — same
+//! rendered telemetry snapshot, same debug-formatted `RunReport`, and
+//! the same encoded run checkpoint, at every shard count, on every
+//! golden workload, with fault windows and the contention model on or
+//! off.
+//!
+//! The shard count partitions LLC sets and page runs across workers on
+//! the vendored work queue; cross-shard effects ride a logical-time
+//! operation log and apply at deterministic sync points. Nothing
+//! observable may depend on how the OS schedules those workers — these
+//! suites are the enforcement.
+//!
+//! The deterministic matrix pins the golden workloads; the proptest
+//! below fuzzes the space between them: random access streams whose
+//! migrations (M5 promotions) and epoch/bandwidth rollovers land between
+//! sharded blocks, at shard counts and chunk capacities that slice
+//! page runs and LLC set partitions at awkward boundaries.
+
+use cxl_sim::faults::{FaultKind, FaultPlan};
+use cxl_sim::prelude::*;
+use cxl_sim::system::{run_chunked, run_per_access, Region};
+use m5_bench::golden::{self, GoldenSpec, GOLDENS};
+use m5_bench::sharded::observe_golden;
+use m5_core::manager::{M5Config, M5Manager};
+use m5_workloads::access::{AccessRecorder, ReplayWorkload};
+use proptest::prelude::*;
+
+/// Reduced budget: several M5 epochs and migrations per golden while
+/// keeping the 48-run matrix fast.
+const ACCESSES: u64 = 40_000;
+
+/// Shard counts compared against the sequential reference: 2 (minimal
+/// split), 3 (uneven partition of power-of-two set counts), 8 (more
+/// shards than this host has cores).
+const SHARDS: [usize; 3] = [2, 3, 8];
+
+fn reduced(g: &GoldenSpec) -> GoldenSpec {
+    GoldenSpec {
+        accesses: ACCESSES,
+        ..*g
+    }
+}
+
+/// A fault plan whose spike/stall/poison/pressure windows all land well
+/// inside the reduced budget.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with(
+            Nanos::from_micros(500),
+            FaultKind::LatencySpike {
+                extra: Nanos::from_micros(2),
+                duration: Nanos::from_micros(300),
+            },
+        )
+        .with(
+            Nanos::from_millis(1),
+            FaultKind::ControllerStall {
+                duration: Nanos::from_micros(150),
+            },
+        )
+        .with(
+            Nanos::from_micros(1_400),
+            FaultKind::PoisonLine { reads: 3 },
+        )
+        .with(
+            Nanos::from_micros(1_700),
+            FaultKind::DdrPressure {
+                duration: Nanos::from_micros(400),
+            },
+        )
+}
+
+/// Runs every golden at every shard count under one (plan, contention)
+/// cell and asserts the full evidence bundle — snapshot, report, and
+/// checkpoint bytes — matches the sequential (shards = 1) reference.
+fn assert_sharded_matches_sequential(label: &str, plan: &FaultPlan, background: Option<f64>) {
+    for g in &GOLDENS {
+        let g = reduced(g);
+        let reference = observe_golden(&g, 1, plan, background);
+        for s in SHARDS {
+            let sharded = observe_golden(&g, s, plan, background);
+            assert_eq!(
+                sharded.report, reference.report,
+                "{label}/{}: report diverged at {s} shards",
+                g.name
+            );
+            assert_eq!(
+                sharded.snapshot, reference.snapshot,
+                "{label}/{}: telemetry diverged at {s} shards",
+                g.name
+            );
+            assert_eq!(
+                sharded.checkpoint, reference.checkpoint,
+                "{label}/{}: checkpoint bytes diverged at {s} shards",
+                g.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_goldens_match_sequential() {
+    assert_sharded_matches_sequential("clean", &FaultPlan::none(), None);
+}
+
+#[test]
+fn sharded_goldens_match_sequential_with_faults() {
+    assert_sharded_matches_sequential("faulted", &fault_plan(), None);
+}
+
+#[test]
+fn sharded_goldens_match_sequential_with_contention() {
+    assert_sharded_matches_sequential("contended", &FaultPlan::none(), Some(0.7));
+}
+
+#[test]
+fn sharded_goldens_match_sequential_with_faults_and_contention() {
+    assert_sharded_matches_sequential("faulted+contended", &fault_plan(), Some(0.7));
+}
+
+/// Guard against a vacuous matrix: the golden machines must actually
+/// dispatch blocks through the sharded fan-out (not fall back to the
+/// scalar staged path for every block, which would make the equality
+/// assertions above prove nothing).
+#[test]
+fn sharded_path_engages_on_golden_machines() {
+    let g = reduced(&GOLDENS[0]);
+    let spec = g.benchmark.spec();
+    let (mut sys, region) = m5_bench::standard_system(&spec);
+    sys.enable_stage_timing();
+    sys.set_sim_shards(4);
+    let mut wl = spec.build(region.base, g.accesses, g.seed);
+    let mut m5 = M5Manager::new(M5Config::default());
+    let report = run_chunked(&mut sys, &mut wl, &mut m5, g.accesses, 4096);
+    assert_eq!(report.accesses, g.accesses);
+    let st = sys.stage_times().expect("stage timing enabled");
+    assert!(
+        st.sharded_blocks > 0,
+        "no block took the sharded fan-out: blocks={} staged_accesses={}",
+        st.blocks,
+        st.staged_accesses
+    );
+}
+
+/// A contended, faulted machine whose staged threshold is forced low so
+/// even short generated streams dispatch through the *sharded* staged
+/// engine rather than the scalar fallback.
+fn sharded_prop_system(pages: u64, plan: &FaultPlan) -> (System, Region) {
+    let config = SystemConfig::scaled_default()
+        .with_cxl_frames(pages + 64)
+        .with_ddr_frames((pages / 2).max(2))
+        .with_contention(ContentionConfig::enabled_default().with_cxl_background(0.6))
+        .with_staged_min_block(4);
+    let mut sys = System::with_fault_plan(config, plan);
+    let region = sys
+        .alloc_region(pages, Placement::AllOnCxl)
+        .expect("CXL sized to fit");
+    (sys, region)
+}
+
+/// Replay workload over `region` built from raw (offset, write, op-end)
+/// triples.
+fn replay(ops: &[(u64, bool, bool)], pages: u64, region: &Region) -> ReplayWorkload {
+    let mut rec = AccessRecorder::with_capacity(ops.len());
+    let span = pages * 4096;
+    for &(off, w, end) in ops {
+        rec.push(off % span, w, end);
+    }
+    rec.into_workload("sharded-prop", region.base)
+}
+
+/// Full-fidelity observation: rendered telemetry snapshot + report debug.
+fn snapshot(sys: &mut System, report: &RunReport) -> (String, String) {
+    sys.telemetry_mut().flush();
+    let snap = golden::render("sharded-prop", &sys.telemetry().snapshot());
+    (snap, format!("{report:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded chunked ≡ per-access oracle on random streams: the M5
+    /// manager promotes hot pages (migrations) and its epochs — plus the
+    /// perfmon bandwidth windows — roll over between sharded blocks,
+    /// while faults and contention stay live. The shard count and chunk
+    /// capacity are both fuzzed so partition boundaries cut page runs
+    /// and LLC set ranges everywhere.
+    #[test]
+    fn sharded_chunked_matches_per_access_oracle(
+        ops in prop::collection::vec(
+            (any::<u64>(), prop::bool::weighted(0.3), prop::bool::weighted(0.05)),
+            64..768,
+        ),
+        pages in 8u64..48,
+        shards in 2usize..9,
+        cap_idx in 0usize..4,
+    ) {
+        let cap = [17usize, 64, 509, 4096][cap_idx];
+        let plan = fault_plan();
+        let accesses = ops.len() as u64;
+
+        let oracle = {
+            let (mut sys, region) = sharded_prop_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            let mut wl = replay(&ops, pages, &region);
+            let mut d = M5Manager::new(M5Config::default());
+            let report = run_per_access(&mut sys, &mut wl, &mut d, accesses);
+            snapshot(&mut sys, &report)
+        };
+
+        let sharded = {
+            let (mut sys, region) = sharded_prop_system(pages, &plan);
+            sys.install_telemetry(Telemetry::enabled());
+            sys.set_sim_shards(shards);
+            let mut wl = replay(&ops, pages, &region);
+            let mut d = M5Manager::new(M5Config::default());
+            let report = run_chunked(&mut sys, &mut wl, &mut d, accesses, cap);
+            snapshot(&mut sys, &report)
+        };
+
+        prop_assert_eq!(
+            &oracle.1, &sharded.1,
+            "report diverged (shards={}, cap={})", shards, cap
+        );
+        prop_assert_eq!(
+            &oracle.0, &sharded.0,
+            "telemetry diverged (shards={}, cap={})", shards, cap
+        );
+    }
+}

@@ -13,13 +13,41 @@
 //! `current_num_threads`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads a parallel operation will use.
+/// Configured pool size: 0 = not yet resolved (first use consults the
+/// `RAYON_NUM_THREADS` environment variable, then available parallelism).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker-thread count for every subsequent parallel operation.
+/// Values are clamped to at least 1. Pass the count explicitly (a bench
+/// `--shards` sweep, a CI run that must be reproducible) instead of
+/// relying on whatever parallelism the host happens to expose.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel operation will use: the value last
+/// pinned by [`set_num_threads`], else `RAYON_NUM_THREADS` from the
+/// environment, else the host's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            NUM_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 /// Runs `f` over `items`, returning results in input order.
